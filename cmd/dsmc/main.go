@@ -1,0 +1,98 @@
+// Command dsmc runs the parallel mini-DSMC particle-in-cell application on
+// the simulated machine: 2-D or 3-D grids, light-weight / regular /
+// compiler-generated MOVE phases, and the remapping policies of Table 5.
+//
+// Usage:
+//
+//	dsmc [-procs N] [-nx N -ny N -nz N] [-mols N] [-steps N]
+//	     [-mover light|regular|compiler] [-part block|rcb|rib|chain] [-remap N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dsmc"
+	"repro/internal/trace"
+)
+
+func main() {
+	procs := flag.Int("procs", 16, "number of simulated processors")
+	nx := flag.Int("nx", 48, "cells along x")
+	ny := flag.Int("ny", 48, "cells along y")
+	nz := flag.Int("nz", 1, "cells along z (1 = 2-D)")
+	mols := flag.Int("mols", 0, "molecules (0 = 8 per cell)")
+	steps := flag.Int("steps", 50, "time steps")
+	mover := flag.String("mover", "light", "MOVE implementation: light, regular, compiler")
+	part := flag.String("part", "block", "partitioner for remapping")
+	remapEvery := flag.Int("remap", 0, "remap cells every N steps (0 = static)")
+	slab := flag.Float64("slab", 1.0, "initial x-extent fraction holding all molecules")
+	doTrace := flag.Bool("trace", false, "print a virtual-time Gantt chart and phase summary")
+	flag.Parse()
+
+	cfg := dsmc.Default2D(*nx)
+	cfg.NX, cfg.NY, cfg.NZ = *nx, *ny, *nz
+	if *nz > 1 {
+		base := dsmc.Default3D()
+		base.NX, base.NY, base.NZ = *nx, *ny, *nz
+		cfg = base
+	}
+	if *mols > 0 {
+		cfg.NMols = *mols
+	} else {
+		cfg.NMols = 8 * cfg.NCells()
+	}
+	cfg.Steps = *steps
+	cfg.Mover = dsmc.Mover(*mover)
+	cfg.Partitioner = *part
+	cfg.RemapEvery = *remapEvery
+	cfg.InitSlabFrac = *slab
+
+	results := make([]*dsmc.ProcResult, *procs)
+	rep := comm.Run(*procs, costmodel.IPSC860(), func(p *comm.Proc) {
+		results[p.Rank()] = dsmc.Run(p, cfg)
+	})
+
+	fmt.Printf("mini-DSMC: %dx%dx%d cells, %d molecules, %d steps, mover=%s part=%s remap=%d\n",
+		cfg.NX, cfg.NY, cfg.NZ, cfg.NMols, cfg.Steps, cfg.Mover, cfg.Partitioner, cfg.RemapEvery)
+	fmt.Printf("  processors          : %d\n", *procs)
+	fmt.Printf("  execution time      : %10.3f virtual s (wall %.2fs)\n", rep.MaxClock(), rep.Wall.Seconds())
+	fmt.Printf("  computation time    : %10.3f virtual s (mean)\n", rep.MeanComputeTime())
+	fmt.Printf("  communication time  : %10.3f virtual s (mean)\n", rep.MeanCommTime())
+	fmt.Printf("  load balance index  : %10.3f\n", rep.LoadBalance())
+	fmt.Printf("  messages / volume   : %d msgs, %.2f MB\n", rep.TotalMsgsSent(), float64(rep.TotalBytesSent())/1e6)
+	fmt.Printf("  state checksum      : %.9f\n", results[0].Checksum)
+
+	phases := map[string]float64{}
+	for _, r := range results {
+		for k, v := range r.Phases {
+			if v > phases[k] {
+				phases[k] = v
+			}
+		}
+	}
+	var keys []string
+	for k := range phases {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("  phase breakdown (max over ranks, virtual s):")
+	for _, k := range keys {
+		fmt.Printf("    %-10s %10.3f\n", k, phases[k])
+	}
+
+	if *doTrace {
+		spans := make([][]core.Span, len(results))
+		for r, res := range results {
+			spans[r] = res.Spans
+		}
+		fmt.Println()
+		fmt.Print(trace.Gantt(spans, 100))
+		fmt.Println()
+		fmt.Print(trace.RenderSummary(spans))
+	}
+}

@@ -1,0 +1,59 @@
+// Command tables regenerates every table of the paper's evaluation section
+// (Tables 1-7) on the simulated iPSC/860-like machine and prints them, or
+// writes them as markdown for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	tables [-quick] [-table N] [-markdown]
+//
+// Without -table, all tables run. -quick uses the shrunken scale (seconds
+// instead of minutes of wall time). -markdown emits GitHub-flavoured
+// markdown instead of aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the shrunken quick scale")
+	table := flag.Int("table", 0, "run only table N (1-7); 0 = all")
+	markdown := flag.Bool("markdown", false, "emit markdown output")
+	flag.Parse()
+
+	sc := bench.Full()
+	if *quick {
+		sc = bench.Quick()
+	}
+	funcs := map[int]func(bench.Scale) *bench.Table{
+		1: bench.Table1, 2: bench.Table2, 3: bench.Table3, 4: bench.Table4,
+		5: bench.Table5, 6: bench.Table6, 7: bench.Table7,
+	}
+	var ids []int
+	if *table != 0 {
+		if _, ok := funcs[*table]; !ok {
+			fmt.Fprintf(os.Stderr, "tables: no table %d (valid: 1-7)\n", *table)
+			os.Exit(2)
+		}
+		ids = []int{*table}
+	} else {
+		ids = []int{1, 2, 3, 4, 5, 6, 7}
+	}
+
+	fmt.Printf("# CHAOS reproduction tables — scale=%s machine=%s\n\n", sc.Name, sc.Machine().Name)
+	for _, id := range ids {
+		start := time.Now()
+		t := funcs[id](sc)
+		if *markdown {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Print(t.Render())
+		}
+		fmt.Printf("  (regenerated in %.1fs wall)\n\n", time.Since(start).Seconds())
+	}
+}

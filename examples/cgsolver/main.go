@@ -1,0 +1,73 @@
+// cgsolver example: the static irregular problem class the paper's
+// introduction cites ("diagonal preconditioned iterative linear solvers"):
+// a Jacobi-preconditioned conjugate-gradient solve of a shifted graph
+// Laplacian over an unstructured mesh, distributed with CHAOS. The sparse
+// matrix-vector product is the irregular loop: its column indices are
+// hashed once, one schedule is built, and every CG iteration reuses it —
+// preprocessing once, executor many times.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/mesh"
+	"repro/internal/sparse"
+)
+
+func main() {
+	m := mesh.Generate(48, 48, 0.35, 11)
+	a := sparse.Laplacian(m, 1.0)
+	fmt.Printf("mesh: %d vertices, %d edges; matrix: %d rows, %d non-zeros\n",
+		m.NV, m.NE(), a.Rows(), a.NNZ())
+
+	// Manufactured right-hand side with a known solution.
+	want := make([]float64, a.N)
+	for i := range want {
+		want[i] = math.Sin(0.05 * float64(i))
+	}
+	b := make([]float64, a.N)
+	a.MulVec(want, b)
+
+	// Sequential reference.
+	xs := make([]float64, a.N)
+	seq := sparse.CGSeq(a, b, xs, 1e-10, 1000)
+	fmt.Printf("sequential CG : %d iterations, residual %.2e\n", seq.Iterations, seq.Residual)
+
+	for _, geo := range []bool{false, true} {
+		for _, nprocs := range []int{4, 16} {
+			maxErr := make([]float64, nprocs)
+			ghosts := make([]int, nprocs)
+			its := make([]int, nprocs)
+			rep := comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+				d, bl, xl := sparse.SetupBlockRows(p, m, a, b, geo)
+				res := d.CG(bl, xl, 1e-10, 1000)
+				its[p.Rank()] = res.Iterations
+				ghosts[p.Rank()] = d.GhostCount()
+				for i, g := range d.Rows().Globals() {
+					if e := math.Abs(xl[i] - want[g]); e > maxErr[p.Rank()] {
+						maxErr[p.Rank()] = e
+					}
+				}
+			})
+			worst, totGhosts := 0.0, 0
+			for r := 0; r < nprocs; r++ {
+				if maxErr[r] > worst {
+					worst = maxErr[r]
+				}
+				totGhosts += ghosts[r]
+			}
+			part := "block rows"
+			if geo {
+				part = "RCB rows  "
+			}
+			fmt.Printf("P=%-3d %s: %3d iters, %6d ghosts/SpMV, exec %7.4fs, max|err| %.1e\n",
+				nprocs, part, its[0], totGhosts, rep.MaxClock(), worst)
+			if worst > 1e-6 {
+				panic("distributed CG disagrees with the manufactured solution")
+			}
+		}
+	}
+}

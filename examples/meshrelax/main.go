@@ -1,0 +1,51 @@
+// meshrelax example: the static irregular problem class of the paper's
+// introduction (unstructured CFD-style edge loops). An unstructured
+// triangulated mesh is partitioned geometrically, the edge loop is
+// preprocessed ONCE (inspector), and the executor then runs many
+// gather/compute/scatter-add relaxation sweeps with the same schedule —
+// contrast with the adaptive applications, which must re-preprocess.
+// The run compares partitioners by communication footprint and validates
+// the distributed result against the sequential reference.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/mesh"
+)
+
+func main() {
+	cfg := mesh.DefaultRunConfig()
+	cfg.NX, cfg.NY = 48, 48
+	cfg.Sweeps = 30
+
+	m := mesh.Generate(cfg.NX, cfg.NY, cfg.Jitter, cfg.Seed)
+	fmt.Printf("mesh: %d vertices, %d edges; %d damped-Jacobi sweeps\n", m.NV, m.NE(), cfg.Sweeps)
+
+	u := m.InitField()
+	m.Relax(u, cfg.Sweeps, cfg.Omega)
+	wantRes := m.Residual(u)
+	fmt.Printf("sequential: residual %.3e\n", wantRes)
+
+	for _, part := range []string{"block", "rcb", "rib"} {
+		cfg := cfg
+		cfg.Partitioner = part
+		results := make([]*mesh.ProcResult, 8)
+		rep := comm.Run(8, costmodel.IPSC860(), func(p *comm.Proc) {
+			results[p.Rank()] = mesh.Run(p, cfg)
+		})
+		ghosts := 0
+		for _, r := range results {
+			ghosts += r.GhostCount
+		}
+		relErr := math.Abs(results[0].Residual-wantRes) / (1 + wantRes)
+		fmt.Printf("P=8 %-5s: exec %7.4fs, %5d ghost vertices/sweep, residual matches seq to %.1e\n",
+			part, rep.MaxClock(), ghosts, relErr)
+		if relErr > 1e-9 {
+			panic("distributed relaxation diverged from the sequential reference")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Quickstart: parallelize the paper's Figure 1 irregular loop
+//
+//	do i = 1, n
+//	    x(ia(i)) = x(ia(i)) + y(ib(i))
+//	end do
+//
+// with the CHAOS runtime on a simulated 4-processor machine, walking
+// through all six phases: data partitioning, data remapping, iteration
+// partitioning, inspector, and executor — and checking the result against
+// the sequential loop.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+)
+
+const (
+	nElems = 1000
+	nIters = 3000
+	nProcs = 4
+)
+
+func main() {
+	// The irregular access pattern: indirection arrays known only at run
+	// time (here: random, fixed by a seed).
+	rng := rand.New(rand.NewSource(42))
+	ia := make([]int32, nIters)
+	ib := make([]int32, nIters)
+	for i := range ia {
+		ia[i] = int32(rng.Intn(nElems))
+		ib[i] = int32(rng.Intn(nElems))
+	}
+	y0 := make([]float64, nElems)
+	for i := range y0 {
+		y0[i] = rng.Float64()
+	}
+
+	// Sequential reference.
+	want := make([]float64, nElems)
+	for i := 0; i < nIters; i++ {
+		want[ia[i]] += y0[ib[i]]
+	}
+
+	// Parallel run on the simulated machine.
+	maxErr := make([]float64, nProcs)
+	rep := comm.Run(nProcs, costmodel.IPSC860(), func(p *comm.Proc) {
+		rt := core.NewRuntime(p)
+
+		// Phase A+B: partition the data arrays. Figure 1 has no geometry,
+		// so partition x/y by destination frequency: here simply BLOCK,
+		// then demonstrate an irregular repartition by moving every third
+		// element to the next processor.
+		d := rt.BlockDist(nElems)
+		x := make([]float64, d.NLocal())
+		y := make([]float64, d.NLocal())
+		for i, g := range d.Globals() {
+			y[i] = y0[g]
+		}
+		owners := make([]int32, d.NLocal())
+		for i, g := range d.Globals() {
+			owners[i] = int32(partition.BlockOwner(int(g), nElems, p.Size()))
+			if g%3 == 0 {
+				owners[i] = (owners[i] + 1) % int32(p.Size())
+			}
+		}
+		d, plan := d.Repartition(owners)
+		x = plan.MoveF64(p, x, 1)
+		y = plan.MoveF64(p, y, 1)
+
+		// Phase C+D: iterations BLOCK-partitioned; each rank takes a slab
+		// of ia/ib.
+		lo, hi := partition.BlockRange(p.Rank(), nIters, p.Size())
+		myIA := ia[lo:hi]
+		myIB := ib[lo:hi]
+
+		// Phase E: inspector — hash the indirection arrays (duplicate
+		// removal + index translation), build one merged schedule.
+		ht := d.NewHashTable()
+		sa, sb := ht.NewStamp(), ht.NewStamp()
+		locA := ht.Hash(myIA, sa)
+		locB := ht.Hash(myIB, sb)
+		sched := schedule.Build(p, ht, sa|sb, 0)
+
+		// Phase F: executor — gather y ghosts, compute, scatter-add x.
+		buf := make([]float64, sched.MinLen())
+		copy(buf, y)
+		schedule.Gather(p, sched, buf)
+		acc := make([]float64, sched.MinLen())
+		copy(acc, x)
+		for k := range locA {
+			acc[locA[k]] += buf[locB[k]]
+		}
+		schedule.Scatter(p, sched, acc, schedule.OpAdd)
+
+		// Validate the owned section against the sequential loop.
+		for i, g := range d.Globals() {
+			if e := math.Abs(acc[i] - want[g]); e > maxErr[p.Rank()] {
+				maxErr[p.Rank()] = e
+			}
+		}
+		if p.Rank() == 0 {
+			fmt.Printf("inspector: %d distinct references, %d ghosts fetched by rank 0\n",
+				ht.Len(), sched.TotalFetch())
+		}
+	})
+
+	worst := 0.0
+	for _, e := range maxErr {
+		if e > worst {
+			worst = e
+		}
+	}
+	fmt.Printf("parallel result matches sequential loop: max |error| = %.2e\n", worst)
+	fmt.Printf("modeled execution time on %d procs: %.4f s (%s model)\n",
+		nProcs, rep.MaxClock(), "iPSC/860")
+	fmt.Printf("communication: %d messages, %d bytes\n", rep.TotalMsgsSent(), rep.TotalBytesSent())
+	if worst > 1e-9 {
+		panic("quickstart: result mismatch")
+	}
+}

@@ -1,0 +1,72 @@
+package charmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+)
+
+func smallKernelConfig() KernelConfig {
+	return KernelConfig{NAtoms: 500, Iters: 8, RemapEvery: 4, Seed: 3}
+}
+
+func TestKernelHandMatchesCompiled(t *testing.T) {
+	cfg := smallKernelConfig()
+	for _, nprocs := range []int{1, 2, 4} {
+		hand := make([]*KernelResult, nprocs)
+		compiled := make([]*KernelResult, nprocs)
+		comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+			hand[p.Rank()] = RunKernelHand(p, cfg)
+		})
+		comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+			compiled[p.Rank()] = RunKernelCompiled(p, cfg)
+		})
+		h, c := hand[0], compiled[0]
+		if math.Abs(h.Checksum-c.Checksum) > 1e-9*math.Abs(h.Checksum) {
+			t.Errorf("nprocs=%d checksum hand %v vs compiled %v", nprocs, h.Checksum, c.Checksum)
+		}
+		if h.Checksum == 0 {
+			t.Errorf("nprocs=%d zero checksum: kernel did nothing", nprocs)
+		}
+	}
+}
+
+func TestKernelCompiledNearHandPerformance(t *testing.T) {
+	// Table 6: the compiler-generated code should be within a few percent
+	// of the hand-coded version.
+	cfg := smallKernelConfig()
+	cfg.NAtoms = 1500
+	cfg.Iters = 12
+	total := func(f func(p *comm.Proc, cfg KernelConfig) *KernelResult) float64 {
+		rep := comm.Run(4, costmodel.IPSC860(), func(p *comm.Proc) {
+			f(p, cfg)
+		})
+		return rep.MaxClock()
+	}
+	hand := total(RunKernelHand)
+	compiled := total(RunKernelCompiled)
+	if compiled < hand {
+		t.Logf("compiled (%.4fs) faster than hand (%.4fs) — acceptable", compiled, hand)
+	}
+	if compiled > hand*1.10 {
+		t.Errorf("compiled kernel %.4fs more than 10%% slower than hand %.4fs", compiled, hand)
+	}
+}
+
+func TestKernelPhaseBreakdown(t *testing.T) {
+	cfg := smallKernelConfig()
+	results := make([]*KernelResult, 2)
+	comm.Run(2, costmodel.IPSC860(), func(p *comm.Proc) {
+		results[p.Rank()] = RunKernelHand(p, cfg)
+	})
+	r := results[0]
+	if r.Partition <= 0 || r.Remap <= 0 || r.Inspector <= 0 || r.Executor <= 0 {
+		t.Errorf("phase breakdown incomplete: %+v", r)
+	}
+	sum := r.Partition + r.Remap + r.Inspector + r.Executor
+	if math.Abs(sum-r.Total) > 0.02*r.Total {
+		t.Errorf("phases sum to %v but total is %v", sum, r.Total)
+	}
+}

@@ -1,0 +1,433 @@
+package charmm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/hashtab"
+	"repro/internal/partition"
+	"repro/internal/remap"
+	"repro/internal/schedule"
+	"repro/internal/ttable"
+)
+
+// Phase keys used in ProcResult.Phases. Table 2 reports PhasePartition,
+// PhaseNBList, PhaseRemap, PhaseSchedGen and PhaseSchedRegen; Table 6
+// reports PhasePartition, PhaseRemap, inspector (PhaseSchedGen +
+// PhaseSchedRegen) and PhaseExecutor.
+const (
+	PhasePartition  = "partition"
+	PhaseNBListInit = "nblist_init"
+	PhaseNBList     = "nblist"
+	PhaseNBUpdate   = "nbupdate"
+	PhaseRemap      = "remap"
+	PhaseSchedGen   = "schedgen"
+	PhaseSchedRegen = "schedregen"
+	PhaseExecutor   = "executor"
+)
+
+// ProcResult is one rank's outcome of a parallel CHARMM run. Phase times
+// are virtual seconds on this rank; Checksum and NBEntries are global
+// (identical on every rank).
+type ProcResult struct {
+	Phases     map[string]float64
+	PhaseStats map[string]comm.Stats
+	Spans      []core.Span
+	Checksum   float64
+	NBEntries  int64
+}
+
+// simState carries the distributed simulation between preprocessing stages.
+type simState struct {
+	atoms    *core.Dist
+	pos, vel []float64 // 3-wide, owned atoms in local order
+	ptr, jnb []int32   // non-bonded CSR (partner values are globals)
+	bondI    []int32   // local bonds, global endpoints
+	bondJ    []int32
+	bondLen  []float64
+
+	ht           *hashtab.Table
+	sBond, sNB   hashtab.Stamp
+	locBI, locBJ []int32
+	locJnb       []int32
+	sched        *schedule.Schedule // merged
+	schedB       *schedule.Schedule // per-loop (when !Merged)
+	schedNB      *schedule.Schedule
+}
+
+// Run executes the parallel CHARMM simulation on one SPMD rank. Collective:
+// every rank of the communicator must call it with the same configuration.
+func Run(p *comm.Proc, cfg Config) *ProcResult {
+	validate(cfg)
+	init := GenInitState(cfg)
+	rt := core.NewRuntime(p)
+	switch cfg.TableKind {
+	case "", "replicated":
+		rt.TableKind = ttable.Replicated
+	case "distributed":
+		rt.TableKind = ttable.Distributed
+	case "paged":
+		rt.TableKind = ttable.Paged
+	default:
+		panic("charmm: unknown TableKind " + cfg.TableKind)
+	}
+	timer := core.NewPhaseTimer(p)
+
+	s := &simState{atoms: rt.BlockDist(cfg.NAtoms)}
+	// Local slabs of the initial condition.
+	lo, hi := partition.BlockRange(p.Rank(), cfg.NAtoms, p.Size())
+	s.pos = append([]float64(nil), init.Pos[3*lo:3*hi]...)
+	s.vel = append([]float64(nil), init.Vel[3*lo:3*hi]...)
+	nbonds := len(init.BondI)
+	blo, bhi := partition.BlockRange(p.Rank(), nbonds, p.Size())
+	s.bondI = append([]int32(nil), init.BondI[blo:bhi]...)
+	s.bondJ = append([]int32(nil), init.BondJ[blo:bhi]...)
+	s.bondLen = append([]float64(nil), init.BondLen[blo:bhi]...)
+	timer.Skip() // setup is not a measured phase
+
+	// Initial non-bonded list on the block distribution: it supplies the
+	// computational weights the partitioner needs (§4.1).
+	s.ptr, s.jnb = buildNBListPar(p, s.atoms.Globals(), s.pos, cfg)
+	p.Barrier()
+	timer.Mark(PhaseNBListInit)
+
+	// Phases A-D.
+	repartition(p, s, cfg.Partitioner, timer)
+
+	// The paper regenerates the non-bonded list after redistribution,
+	// before the simulation (the Table 2 "Non-bonded List Update" row).
+	s.ptr, s.jnb = buildNBListPar(p, s.atoms.Globals(), s.pos, cfg)
+	p.Barrier()
+	timer.Mark(PhaseNBList)
+
+	// Phase E: inspector.
+	buildInspector(p, s, cfg)
+	p.Barrier()
+	timer.Mark(PhaseSchedGen)
+
+	remapCount := 0
+	for step := 1; step <= cfg.Steps; step++ {
+		if cfg.RemapEvery > 0 && step%cfg.RemapEvery == 0 {
+			part := cfg.Partitioner
+			if cfg.AlternatePartitioners && remapCount%2 == 1 {
+				part = alternateOf(cfg.Partitioner)
+			}
+			remapCount++
+			repartition(p, s, part, timer)
+			s.ptr, s.jnb = buildNBListPar(p, s.atoms.Globals(), s.pos, cfg)
+			p.Barrier()
+			timer.Mark(PhaseNBUpdate)
+			buildInspector(p, s, cfg)
+			p.Barrier()
+			timer.Mark(PhaseSchedRegen)
+		} else if step%cfg.NBEvery == 0 {
+			// Adaptive phase: the non-bonded list changes; index analysis
+			// for unchanged indices is reused via the hash table.
+			s.ptr, s.jnb = buildNBListPar(p, s.atoms.Globals(), s.pos, cfg)
+			p.Barrier()
+			timer.Mark(PhaseNBUpdate)
+			s.ht.ClearStamp(s.sNB)
+			s.locJnb = s.ht.Hash(s.jnb, s.sNB)
+			rebuildSchedules(p, s, cfg)
+			p.Barrier()
+			timer.Mark(PhaseSchedRegen)
+		}
+		executeStep(p, s, cfg)
+		timer.Mark(PhaseExecutor)
+	}
+
+	res := &ProcResult{Phases: timer.Times, PhaseStats: timer.Stats, Spans: timer.Spans()}
+	// Global checksum: mean absolute coordinate.
+	sum := 0.0
+	for _, v := range s.pos {
+		if v < 0 {
+			sum -= v
+		} else {
+			sum += v
+		}
+	}
+	tot := p.AllReduceF64(comm.OpSum, []float64{sum, float64(len(s.pos))})
+	res.Checksum = tot[0] / tot[1]
+	res.NBEntries = p.AllReduceScalarI64(comm.OpSum, int64(len(s.jnb)))
+	return res
+}
+
+func validate(cfg Config) {
+	if cfg.NAtoms < 1 || cfg.Steps < 0 || cfg.NBEvery < 1 {
+		panic(fmt.Sprintf("charmm: bad config %+v", cfg))
+	}
+	switch cfg.Partitioner {
+	case "block", "rcb", "rib", "chain":
+	default:
+		panic("charmm: unknown partitioner " + cfg.Partitioner)
+	}
+}
+
+func alternateOf(part string) string {
+	if part == "rcb" {
+		return "rib"
+	}
+	return "rcb"
+}
+
+// repartition runs phases A-D: partition atoms (weighted by non-bonded list
+// length), remap the atom arrays, and repartition+move the bonded pairs by
+// the almost-owner-computes rule.
+func repartition(p *comm.Proc, s *simState, part string, timer *core.PhaseTimer) {
+	owners := atomOwners(p, s, part)
+	p.Barrier()
+	timer.Mark(PhasePartition)
+
+	atoms2, plan := s.atoms.Repartition(owners)
+	s.pos = plan.MoveF64(p, s.pos, 3)
+	s.vel = plan.MoveF64(p, s.vel, 3)
+	s.ptr, s.jnb = plan.MoveCSR(p, s.ptr, s.jnb)
+	s.atoms = atoms2
+
+	// Bonded loop iterations: almost-owner-computes, then move the pairs.
+	refs := make([][]int32, len(s.bondI))
+	for k := range refs {
+		refs[k] = []int32{s.bondI[k], s.bondJ[k]}
+	}
+	bOwners := remap.IterationOwners(p, refs, s.atoms.TT(), remap.AlmostOwnerComputes)
+	ls := schedule.BuildLight(p, bOwners)
+	pairs := make([]int32, 2*len(s.bondI))
+	for k := range s.bondI {
+		pairs[2*k] = s.bondI[k]
+		pairs[2*k+1] = s.bondJ[k]
+	}
+	moved := ls.MoveI32(p, bOwners, pairs, 2)
+	s.bondLen = ls.MoveF64(p, bOwners, s.bondLen, 1)
+	s.bondI = make([]int32, len(moved)/2)
+	s.bondJ = make([]int32, len(moved)/2)
+	for k := range s.bondI {
+		s.bondI[k] = moved[2*k]
+		s.bondJ[k] = moved[2*k+1]
+	}
+	p.Barrier()
+	timer.Mark(PhaseRemap)
+}
+
+// atomOwners runs the configured phase-A partitioner.
+func atomOwners(p *comm.Proc, s *simState, part string) []int32 {
+	n := s.atoms.NLocal()
+	if part == "block" {
+		owners := make([]int32, n)
+		for i, g := range s.atoms.Globals() {
+			owners[i] = int32(partition.BlockOwner(int(g), s.atoms.N(), p.Size()))
+		}
+		return owners
+	}
+	g := &partition.Geom{
+		Dim: 3,
+		X:   make([]float64, n),
+		Y:   make([]float64, n),
+		Z:   make([]float64, n),
+		W:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		g.X[i] = s.pos[3*i]
+		g.Y[i] = s.pos[3*i+1]
+		g.Z[i] = s.pos[3*i+2]
+		g.W[i] = 1 + float64(s.ptr[i+1]-s.ptr[i])
+	}
+	switch part {
+	case "rcb":
+		return partition.RCB(p, g)
+	case "rib":
+		return partition.RIB(p, g)
+	default:
+		return partition.Chain(p, 0, g)
+	}
+}
+
+// buildInspector hashes the indirection arrays into a fresh hash table and
+// builds the communication schedules.
+func buildInspector(p *comm.Proc, s *simState, cfg Config) {
+	s.ht = s.atoms.NewHashTable()
+	s.sBond = s.ht.NewStamp()
+	s.sNB = s.ht.NewStamp()
+	s.locBI = s.ht.Hash(s.bondI, s.sBond)
+	s.locBJ = s.ht.Hash(s.bondJ, s.sBond)
+	s.locJnb = s.ht.Hash(s.jnb, s.sNB)
+	rebuildSchedules(p, s, cfg)
+}
+
+// rebuildSchedules constructs either the single merged schedule or the two
+// per-loop schedules from the current stamps.
+func rebuildSchedules(p *comm.Proc, s *simState, cfg Config) {
+	if cfg.Merged {
+		s.sched = schedule.Build(p, s.ht, s.sBond|s.sNB, 0)
+		s.schedB, s.schedNB = nil, nil
+		return
+	}
+	s.schedB = schedule.Build(p, s.ht, s.sBond, 0)
+	s.schedNB = schedule.Build(p, s.ht, s.sNB, 0)
+	s.sched = nil
+}
+
+// executeStep is phase F: gather coordinates, compute bonded and non-bonded
+// forces, scatter-add force contributions, integrate owned atoms.
+func executeStep(p *comm.Proc, s *simState, cfg Config) {
+	nLocal := s.ht.NLocal()
+	nBuf := nLocal + s.ht.NGhosts()
+	posBuf := make([]float64, 3*nBuf)
+	copy(posBuf, s.pos)
+	frc := make([]float64, 3*nBuf)
+	c2 := cfg.Cutoff * cfg.Cutoff
+
+	if cfg.Merged {
+		schedule.GatherW(p, s.sched, posBuf, 3)
+	} else {
+		schedule.GatherW(p, s.schedB, posBuf, 3)
+		schedule.GatherW(p, s.schedNB, posBuf, 3)
+	}
+
+	// Bonded forces (loop L2 of Figure 2).
+	for k := range s.locBI {
+		i, j := s.locBI[k], s.locBJ[k]
+		bondForce(posBuf[3*i:3*i+3], posBuf[3*j:3*j+3], frc[3*i:3*i+3], frc[3*j:3*j+3], s.bondLen[k])
+	}
+	p.ComputeFlops(bondFlops * len(s.locBI))
+	if !cfg.Merged {
+		schedule.ScatterW(p, s.schedB, frc, 3, schedule.OpAdd)
+		for i := 3 * nLocal; i < len(frc); i++ {
+			frc[i] = 0 // per-loop schedules: ghost contributions must not leak
+		}
+	}
+
+	// Non-bonded forces (loop L3 of Figure 2): atom i is local row i.
+	for i := 0; i < s.atoms.NLocal(); i++ {
+		fi := frc[3*i : 3*i+3]
+		pi := posBuf[3*i : 3*i+3]
+		for _, lj := range s.locJnb[s.ptr[i]:s.ptr[i+1]] {
+			pairForce(pi, posBuf[3*lj:3*lj+3], fi, frc[3*lj:3*lj+3], c2)
+		}
+	}
+	p.ComputeFlops(pairFlops * len(s.locJnb))
+
+	if cfg.Merged {
+		schedule.ScatterW(p, s.sched, frc, 3, schedule.OpAdd)
+	} else {
+		schedule.ScatterW(p, s.schedNB, frc, 3, schedule.OpAdd)
+	}
+
+	for i := 0; i < s.atoms.NLocal(); i++ {
+		integrate(s.pos[3*i:3*i+3], s.vel[3*i:3*i+3], frc[3*i:3*i+3], &cfg.Box, cfg.Dt)
+	}
+	p.ComputeFlops(integrateFlops * s.atoms.NLocal())
+}
+
+// buildNBListPar regenerates the non-bonded list for the owned atoms using
+// a bounding-box halo exchange, the way distributed MD codes of the period
+// did: each processor publishes the bounding box of its atoms (a cheap
+// allgather of six floats), ships each of its atoms to every processor
+// whose box lies within the cutoff of that atom, then searches only its own
+// atoms against own + halo positions on a local cell grid. Both the search
+// work and the communication volume shrink with the processor count, which
+// is why the paper's "Non-bonded List Update" row in Table 2 decreases
+// from 16 to 128 processors.
+func buildNBListPar(p *comm.Proc, globals []int32, pos []float64, cfg Config) (ptr, jnb []int32) {
+	nOwn := len(globals)
+	c2 := cfg.Cutoff * cfg.Cutoff
+
+	// Publish per-processor bounding boxes.
+	box := []float64{inf, inf, inf, -inf, -inf, -inf}
+	for i := 0; i < nOwn; i++ {
+		for d := 0; d < 3; d++ {
+			v := pos[3*i+d]
+			if v < box[d] {
+				box[d] = v
+			}
+			if v > box[3+d] {
+				box[3+d] = v
+			}
+		}
+	}
+	p.ComputeMem(nOwn)
+	boxes := p.AllGather(comm.EncodeF64(box))
+
+	// Route each owned atom to every processor whose box is within the
+	// cutoff of it (itself excluded).
+	sendG := make([][]int32, p.Size())
+	sendP := make([][]float64, p.Size())
+	for r := 0; r < p.Size(); r++ {
+		if r == p.Rank() {
+			continue
+		}
+		b := comm.DecodeF64(boxes[r])
+		if len(b) != 6 || b[0] > b[3] {
+			continue // empty processor
+		}
+		for i := 0; i < nOwn; i++ {
+			if boxDist2(pos[3*i:3*i+3], b) < c2 {
+				sendG[r] = append(sendG[r], globals[i])
+				sendP[r] = append(sendP[r], pos[3*i:3*i+3]...)
+			}
+		}
+	}
+	p.ComputeMem(nOwn * p.Size())
+
+	gBufs := make([][]byte, p.Size())
+	pBufs := make([][]byte, p.Size())
+	for r := range sendG {
+		gBufs[r] = comm.EncodeI32(sendG[r])
+		pBufs[r] = comm.EncodeF64(sendP[r])
+	}
+	haloGB := p.AllToAll(gBufs)
+	haloPB := p.AllToAll(pBufs)
+
+	// Assemble own + halo atoms for the local grid.
+	allG := append([]int32(nil), globals...)
+	allP := append([]float64(nil), pos...)
+	for r := 0; r < p.Size(); r++ {
+		if r == p.Rank() {
+			continue
+		}
+		allG = append(allG, comm.DecodeI32(haloGB[r])...)
+		allP = append(allP, comm.DecodeF64(haloPB[r])...)
+	}
+	p.ComputeMem(len(allG))
+
+	grid := newCellGrid(allP, len(allG), cfg.Box, cfg.Cutoff)
+	p.ComputeMem(len(allG))
+	ptr = make([]int32, nOwn+1)
+	examined := 0
+	for i := 0; i < nOwn; i++ {
+		g := globals[i]
+		pg := allP[3*i : 3*i+3]
+		examined += grid.neighbors(pg, func(j int32) {
+			gj := allG[j]
+			if gj <= g {
+				return
+			}
+			dx := pg[0] - allP[3*j]
+			dy := pg[1] - allP[3*j+1]
+			dz := pg[2] - allP[3*j+2]
+			if dx*dx+dy*dy+dz*dz < c2 {
+				jnb = append(jnb, gj)
+			}
+		})
+		ptr[i+1] = int32(len(jnb))
+	}
+	p.ComputeMem(searchMemOps * examined)
+	return ptr, jnb
+}
+
+var inf = math.Inf(1)
+
+// boxDist2 returns the squared distance from point q to the axis-aligned
+// box (b[0:3] min corner, b[3:6] max corner).
+func boxDist2(q []float64, b []float64) float64 {
+	d2 := 0.0
+	for d := 0; d < 3; d++ {
+		if v := b[d] - q[d]; v > 0 {
+			d2 += v * v
+		} else if v := q[d] - b[3+d]; v > 0 {
+			d2 += v * v
+		}
+	}
+	return d2
+}

@@ -1,0 +1,74 @@
+package comm
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// The codec helpers convert numeric slices to and from the little-endian
+// wire format used by both transports. They exist so that application code
+// never hand-rolls binary packing; all higher layers (translation tables,
+// schedules, remap) speak in terms of typed slices.
+
+// EncodeF64 packs xs into a little-endian byte slice.
+func EncodeF64(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+// DecodeF64 unpacks a buffer produced by EncodeF64.
+func DecodeF64(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic("comm: DecodeF64 on buffer whose length is not a multiple of 8")
+	}
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+// EncodeI32 packs xs into a little-endian byte slice.
+func EncodeI32(xs []int32) []byte {
+	b := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+	}
+	return b
+}
+
+// DecodeI32 unpacks a buffer produced by EncodeI32.
+func DecodeI32(b []byte) []int32 {
+	if len(b)%4 != 0 {
+		panic("comm: DecodeI32 on buffer whose length is not a multiple of 4")
+	}
+	xs := make([]int32, len(b)/4)
+	for i := range xs {
+		xs[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return xs
+}
+
+// EncodeI64 packs xs into a little-endian byte slice.
+func EncodeI64(xs []int64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+// DecodeI64 unpacks a buffer produced by EncodeI64.
+func DecodeI64(b []byte) []int64 {
+	if len(b)%8 != 0 {
+		panic("comm: DecodeI64 on buffer whose length is not a multiple of 8")
+	}
+	xs := make([]int64, len(b)/8)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}

@@ -1,0 +1,154 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+)
+
+// Stats accumulates per-processor accounting in virtual seconds and raw
+// message counts. ComputeTime is time spent in application work (Compute,
+// ComputeFlops, ComputeMem); CommTime is time spent inside communication
+// calls, including waiting for messages, matching the paper's definition of
+// communication time.
+type Stats struct {
+	ComputeTime float64
+	CommTime    float64
+	MsgsSent    int64
+	BytesSent   int64
+	MsgsRecv    int64
+	BytesRecv   int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.ComputeTime += other.ComputeTime
+	s.CommTime += other.CommTime
+	s.MsgsSent += other.MsgsSent
+	s.BytesSent += other.BytesSent
+	s.MsgsRecv += other.MsgsRecv
+	s.BytesRecv += other.BytesRecv
+}
+
+// Sub returns s minus other, used to compute per-phase deltas.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		ComputeTime: s.ComputeTime - other.ComputeTime,
+		CommTime:    s.CommTime - other.CommTime,
+		MsgsSent:    s.MsgsSent - other.MsgsSent,
+		BytesSent:   s.BytesSent - other.BytesSent,
+		MsgsRecv:    s.MsgsRecv - other.MsgsRecv,
+		BytesRecv:   s.BytesRecv - other.BytesRecv,
+	}
+}
+
+// Proc is one logical processor of the simulated machine. It is owned by a
+// single goroutine; methods must not be called concurrently.
+type Proc struct {
+	rank  int
+	size  int
+	tr    Transport
+	m     *costmodel.Machine
+	clock float64
+	stats Stats
+}
+
+// NewProc constructs a processor endpoint. Most code should use Run instead.
+func NewProc(rank, size int, tr Transport, m *costmodel.Machine) *Proc {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if rank < 0 || rank >= size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, size))
+	}
+	return &Proc{rank: rank, size: size, tr: tr, m: m}
+}
+
+// Rank returns this processor's rank in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of processors.
+func (p *Proc) Size() int { return p.size }
+
+// Machine returns the cost model in effect.
+func (p *Proc) Machine() *costmodel.Machine { return p.m }
+
+// Clock returns the current virtual time in seconds.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Stats returns a copy of the accumulated statistics.
+func (p *Proc) Stats() Stats { return p.stats }
+
+// Compute advances the virtual clock by cost seconds of application work.
+func (p *Proc) Compute(cost float64) {
+	if cost < 0 {
+		panic("comm: negative compute cost")
+	}
+	p.clock += cost
+	p.stats.ComputeTime += cost
+}
+
+// ComputeFlops accounts n floating-point operations.
+func (p *Proc) ComputeFlops(n int) { p.Compute(p.m.FlopCost(n)) }
+
+// ComputeMem accounts n irregular memory operations (hash probes, table
+// lookups, indirection dereferences).
+func (p *Proc) ComputeMem(n int) { p.Compute(p.m.MemCost(n)) }
+
+// Send transmits data to rank `to` with the given tag. The sender is busy
+// for the per-message overhead Alpha; the message arrives at the receiver at
+// departure + Alpha + Beta*len(data). data is not retained nor modified, but
+// for the in-memory transport the receiver aliases it, so callers must not
+// mutate a buffer after sending it.
+func (p *Proc) Send(to, tag int, data []byte) {
+	if to == p.rank {
+		panic("comm: send to self (use local copy instead)")
+	}
+	depart := p.clock
+	p.clock += p.m.Alpha
+	p.stats.CommTime += p.m.Alpha
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(len(data))
+	p.tr.Send(Message{
+		From:   p.rank,
+		To:     to,
+		Tag:    tag,
+		Arrive: depart + p.m.MsgCost(len(data)),
+		Data:   data,
+	})
+}
+
+// Recv blocks until a message from `from` with the given tag is available
+// and returns its payload. Waiting time (virtual) is accounted as
+// communication time.
+func (p *Proc) Recv(from, tag int) []byte {
+	if from == p.rank {
+		panic("comm: recv from self")
+	}
+	m := p.tr.Recv(p.rank, from, tag)
+	if m.Arrive > p.clock {
+		p.stats.CommTime += m.Arrive - p.clock
+		p.clock = m.Arrive
+	}
+	p.stats.MsgsRecv++
+	p.stats.BytesRecv += int64(len(m.Data))
+	return m.Data
+}
+
+// SendF64 sends a []float64 payload.
+func (p *Proc) SendF64(to, tag int, xs []float64) { p.Send(to, tag, EncodeF64(xs)) }
+
+// RecvF64 receives a []float64 payload.
+func (p *Proc) RecvF64(from, tag int) []float64 { return DecodeF64(p.Recv(from, tag)) }
+
+// SendI32 sends a []int32 payload.
+func (p *Proc) SendI32(to, tag int, xs []int32) { p.Send(to, tag, EncodeI32(xs)) }
+
+// RecvI32 receives a []int32 payload.
+func (p *Proc) RecvI32(from, tag int) []int32 { return DecodeI32(p.Recv(from, tag)) }
+
+// SendI64 sends a []int64 payload.
+func (p *Proc) SendI64(to, tag int, xs []int64) { p.Send(to, tag, EncodeI64(xs)) }
+
+// RecvI64 receives a []int64 payload.
+func (p *Proc) RecvI64(from, tag int) []int64 { return DecodeI64(p.Recv(from, tag)) }

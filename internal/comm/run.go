@@ -1,0 +1,153 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+// Report summarizes one SPMD run: per-rank final virtual clocks and
+// statistics, plus the real wall time the simulation took.
+type Report struct {
+	N      int
+	Clocks []float64
+	Stats  []Stats
+	Wall   time.Duration
+}
+
+// MaxClock returns the maximum final virtual clock, i.e. the modeled
+// parallel execution time.
+func (r *Report) MaxClock() float64 {
+	max := 0.0
+	for _, c := range r.Clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MeanComputeTime returns compute time averaged over ranks.
+func (r *Report) MeanComputeTime() float64 {
+	s := 0.0
+	for _, st := range r.Stats {
+		s += st.ComputeTime
+	}
+	return s / float64(r.N)
+}
+
+// MeanCommTime returns communication time averaged over ranks.
+func (r *Report) MeanCommTime() float64 {
+	s := 0.0
+	for _, st := range r.Stats {
+		s += st.CommTime
+	}
+	return s / float64(r.N)
+}
+
+// LoadBalance returns the paper's load-balance index:
+// max_i(compute_i) * n / sum_i(compute_i). 1.0 is perfect balance.
+func (r *Report) LoadBalance() float64 {
+	max, sum := 0.0, 0.0
+	for _, st := range r.Stats {
+		if st.ComputeTime > max {
+			max = st.ComputeTime
+		}
+		sum += st.ComputeTime
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max * float64(r.N) / sum
+}
+
+// TotalBytesSent sums bytes sent across ranks (communication volume).
+func (r *Report) TotalBytesSent() int64 {
+	var s int64
+	for _, st := range r.Stats {
+		s += st.BytesSent
+	}
+	return s
+}
+
+// TotalMsgsSent sums messages sent across ranks.
+func (r *Report) TotalMsgsSent() int64 {
+	var s int64
+	for _, st := range r.Stats {
+		s += st.MsgsSent
+	}
+	return s
+}
+
+// Run executes body on n simulated processors over the in-memory transport
+// and returns the per-rank report. A panic on any rank is re-raised on the
+// caller with the rank attached.
+func Run(n int, m *costmodel.Machine, body func(p *Proc)) *Report {
+	return RunTransport(n, m, NewMemTransport(n), body)
+}
+
+// RunTransport is Run over a caller-supplied transport (e.g. TCP). The
+// transport is closed before returning.
+func RunTransport(n int, m *costmodel.Machine, tr Transport, body func(p *Proc)) *Report {
+	if n <= 0 {
+		panic("comm: Run needs at least one processor")
+	}
+	defer tr.Close()
+	rep := &Report{N: n, Clocks: make([]float64, n), Stats: make([]Stats, n)}
+	start := time.Now()
+	var wg sync.WaitGroup
+	panics := make([]any, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			p := NewProc(rank, n, tr, m)
+			defer func() {
+				rep.Clocks[rank] = p.clock
+				rep.Stats[rank] = p.stats
+				if e := recover(); e != nil {
+					panics[rank] = e
+					// Unblock peers waiting on messages from this rank so a
+					// single failure does not deadlock the whole run.
+					if po, ok := tr.(Poisoner); ok {
+						po.Poison()
+					}
+				}
+			}()
+			body(p)
+		}(r)
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	// Re-raise the original failure, preferring a real panic over the
+	// secondary PeerFailure panics it induced on blocked ranks.
+	firstPoison := -1
+	for rank, e := range panics {
+		if e == nil {
+			continue
+		}
+		if _, isPoison := e.(PeerFailure); isPoison {
+			if firstPoison < 0 {
+				firstPoison = rank
+			}
+			continue
+		}
+		panic(fmt.Sprintf("comm: rank %d panicked: %v", rank, e))
+	}
+	if firstPoison >= 0 {
+		panic(fmt.Sprintf("comm: rank %d aborted by a peer failure", firstPoison))
+	}
+	return rep
+}
+
+// RunRank executes body as a single rank of a multi-process run: the
+// transport connects to the other ranks' processes (see NewTCPEndpoint).
+// It returns this rank's final virtual clock and statistics. The caller
+// owns transport cleanup.
+func RunRank(rank, n int, m *costmodel.Machine, tr Transport, body func(p *Proc)) (float64, Stats) {
+	p := NewProc(rank, n, tr, m)
+	body(p)
+	return p.clock, p.stats
+}

@@ -1,0 +1,338 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport connects n ranks through a full mesh of loopback TCP
+// connections, exercising the same wire paths a cluster deployment over RPC
+// would. Each ordered pair (from, to) with from != to gets one connection;
+// a background reader per connection feeds the same tag-matching mailboxes
+// the in-memory transport uses.
+//
+// Frame format (little-endian): from int32, tag int32, arrive float64,
+// len int32, payload bytes.
+type TCPTransport struct {
+	n       int
+	rank    int // -1 for the coordinator handle returned by NewTCPCluster
+	boxes   []*mailbox
+	conns   []net.Conn // conns[to] on the sender side
+	writers []*bufio.Writer
+	wmu     []sync.Mutex
+	closed  sync.Once
+	wg      sync.WaitGroup
+}
+
+// NewTCPCluster builds n TCPTransport endpoints wired through loopback TCP.
+// Endpoint i must only be used by rank i. Closing any endpoint closes the
+// whole mesh.
+func NewTCPCluster(n int) ([]*TCPTransport, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("comm: tcp cluster needs n > 0, got %d", n)
+	}
+	eps := make([]*TCPTransport, n)
+	for i := range eps {
+		eps[i] = &TCPTransport{
+			n:       n,
+			rank:    i,
+			boxes:   make([]*mailbox, n),
+			conns:   make([]net.Conn, n),
+			writers: make([]*bufio.Writer, n),
+			wmu:     make([]sync.Mutex, n),
+		}
+		for j := range eps[i].boxes {
+			eps[i].boxes[j] = newMailbox()
+		}
+	}
+	if n == 1 {
+		return eps, nil
+	}
+	// One listener per rank; rank i dials every rank j > i, and the
+	// connection is used bidirectionally.
+	listeners := make([]net.Listener, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("comm: tcp listen: %w", err)
+		}
+		listeners[i] = ln
+	}
+	type accepted struct {
+		owner int
+		from  int
+		conn  net.Conn
+		err   error
+	}
+	acceptCh := make(chan accepted, n*n)
+	for i, ln := range listeners {
+		expect := i // ranks 0..i-1 dial rank i
+		go func(owner int, ln net.Listener, expect int) {
+			for k := 0; k < expect; k++ {
+				conn, err := ln.Accept()
+				if err != nil {
+					acceptCh <- accepted{owner: owner, err: err}
+					return
+				}
+				var hdr [4]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					acceptCh <- accepted{owner: owner, err: err}
+					return
+				}
+				from := int(binary.LittleEndian.Uint32(hdr[:]))
+				acceptCh <- accepted{owner: owner, from: from, conn: conn}
+			}
+		}(i, ln, expect)
+	}
+	// Dial phase: rank i (lower) dials rank j (higher).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			conn, err := net.Dial("tcp", listeners[j].Addr().String())
+			if err != nil {
+				return nil, fmt.Errorf("comm: tcp dial %d->%d: %w", i, j, err)
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(i))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				return nil, fmt.Errorf("comm: tcp handshake %d->%d: %w", i, j, err)
+			}
+			eps[i].attach(j, conn)
+		}
+	}
+	// Collect accepted connections on the higher-ranked side.
+	pending := 0
+	for i := range listeners {
+		pending += i
+	}
+	for k := 0; k < pending; k++ {
+		a := <-acceptCh
+		if a.err != nil {
+			return nil, fmt.Errorf("comm: tcp accept on rank %d: %w", a.owner, a.err)
+		}
+		eps[a.owner].attach(a.from, a.conn)
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return eps, nil
+}
+
+// attach registers conn as the link to peer and starts its reader.
+func (t *TCPTransport) attach(peer int, conn net.Conn) {
+	t.conns[peer] = conn
+	t.writers[peer] = bufio.NewWriter(conn)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		r := bufio.NewReader(conn)
+		for {
+			var hdr [20]byte
+			if _, err := io.ReadFull(r, hdr[:]); err != nil {
+				return // connection closed
+			}
+			from := int(binary.LittleEndian.Uint32(hdr[0:]))
+			tag := int(binary.LittleEndian.Uint32(hdr[4:]))
+			arrive := math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:]))
+			n := int(binary.LittleEndian.Uint32(hdr[16:]))
+			var data []byte
+			if n > 0 {
+				data = make([]byte, n)
+				if _, err := io.ReadFull(r, data); err != nil {
+					return
+				}
+			}
+			t.boxes[from].put(Message{From: from, To: t.rank, Tag: tag, Arrive: arrive, Data: data})
+		}
+	}()
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(m Message) {
+	if m.To == t.rank {
+		t.boxes[m.From].put(m)
+		return
+	}
+	t.wmu[m.To].Lock()
+	defer t.wmu[m.To].Unlock()
+	w := t.writers[m.To]
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(m.From))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Tag))
+	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(m.Arrive))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(m.Data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		panic(fmt.Sprintf("comm: tcp write header: %v", err))
+	}
+	if len(m.Data) > 0 {
+		if _, err := w.Write(m.Data); err != nil {
+			panic(fmt.Sprintf("comm: tcp write payload: %v", err))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		panic(fmt.Sprintf("comm: tcp flush: %v", err))
+	}
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(self, from, tag int) Message {
+	if self != t.rank {
+		panic(fmt.Sprintf("comm: tcp endpoint for rank %d used as rank %d", t.rank, self))
+	}
+	return t.boxes[from].take(tag)
+}
+
+// Poison implements Poisoner.
+func (t *TCPTransport) Poison() {
+	for _, mb := range t.boxes {
+		mb.poison()
+	}
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.closed.Do(func() {
+		for _, c := range t.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return nil
+}
+
+// tcpMesh adapts a slice of per-rank endpoints to the single-Transport
+// interface RunTransport expects.
+type tcpMesh struct{ eps []*TCPTransport }
+
+// NewTCPMesh builds a Transport over loopback TCP suitable for RunTransport.
+func NewTCPMesh(n int) (Transport, error) {
+	eps, err := NewTCPCluster(n)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpMesh{eps: eps}, nil
+}
+
+// Send implements Transport.
+func (m *tcpMesh) Send(msg Message) { m.eps[msg.From].Send(msg) }
+
+// Recv implements Transport.
+func (m *tcpMesh) Recv(self, from, tag int) Message { return m.eps[self].Recv(self, from, tag) }
+
+// Poison implements Poisoner.
+func (m *tcpMesh) Poison() {
+	for _, ep := range m.eps {
+		ep.Poison()
+	}
+}
+
+// Close implements Transport.
+func (m *tcpMesh) Close() error {
+	for _, ep := range m.eps {
+		ep.Close()
+	}
+	return nil
+}
+
+// NewTCPEndpoint establishes this process's transport endpoint for a
+// multi-process deployment: rank r of n, where addrs[i] is the listen
+// address of rank i. The endpoint listens on addrs[rank], accepts
+// connections from all lower ranks, and dials all higher ranks (retrying
+// while peers start up). It returns once the full mesh is connected.
+// Unlike NewTCPCluster (which wires all ranks inside one process), each
+// process calls this exactly once with its own rank.
+func NewTCPEndpoint(rank int, addrs []string, timeout time.Duration) (*TCPTransport, error) {
+	n := len(addrs)
+	if rank < 0 || rank >= n {
+		return nil, fmt.Errorf("comm: rank %d out of range [0,%d)", rank, n)
+	}
+	t := &TCPTransport{
+		n:       n,
+		rank:    rank,
+		boxes:   make([]*mailbox, n),
+		conns:   make([]net.Conn, n),
+		writers: make([]*bufio.Writer, n),
+		wmu:     make([]sync.Mutex, n),
+	}
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox()
+	}
+	if n == 1 {
+		return t, nil
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d listen on %s: %w", rank, addrs[rank], err)
+	}
+	defer ln.Close()
+
+	deadline := time.Now().Add(timeout)
+	errs := make(chan error, 2)
+
+	// Accept connections from the `rank` lower-ranked peers.
+	go func() {
+		for k := 0; k < rank; k++ {
+			if d, ok := ln.(*net.TCPListener); ok {
+				d.SetDeadline(deadline)
+			}
+			conn, err := ln.Accept()
+			if err != nil {
+				errs <- fmt.Errorf("comm: rank %d accept: %w", rank, err)
+				return
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				errs <- fmt.Errorf("comm: rank %d handshake read: %w", rank, err)
+				return
+			}
+			from := int(binary.LittleEndian.Uint32(hdr[:]))
+			if from < 0 || from >= rank {
+				errs <- fmt.Errorf("comm: rank %d got handshake from unexpected rank %d", rank, from)
+				return
+			}
+			t.attach(from, conn)
+		}
+		errs <- nil
+	}()
+
+	// Dial the higher-ranked peers, retrying while they start up.
+	go func() {
+		for j := rank + 1; j < n; j++ {
+			var conn net.Conn
+			var err error
+			for {
+				conn, err = net.DialTimeout("tcp", addrs[j], time.Second)
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					errs <- fmt.Errorf("comm: rank %d dial rank %d at %s: %w", rank, j, addrs[j], err)
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				errs <- fmt.Errorf("comm: rank %d handshake to %d: %w", rank, j, err)
+				return
+			}
+			t.attach(j, conn)
+		}
+		errs <- nil
+	}()
+
+	for k := 0; k < 2; k++ {
+		if err := <-errs; err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}

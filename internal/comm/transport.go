@@ -1,0 +1,143 @@
+// Package comm provides the message-passing substrate the CHAOS runtime is
+// built on: an SPMD harness in which each logical processor runs as a
+// goroutine, exchanging messages through a Transport (in-memory channels by
+// default, TCP over localhost optionally), with virtual-time accounting per
+// the costmodel package.
+//
+// The programming model mirrors the iPSC/860 primitives the paper used:
+// blocking tagged point-to-point sends and receives, plus collectives
+// (barrier, broadcast, reduce, allreduce, gather, allgather, alltoallv)
+// built from point-to-point messages so that their modeled cost emerges from
+// the machine model.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is one point-to-point message. Arrive is the virtual time at which
+// the message becomes available at the receiver.
+type Message struct {
+	From, To, Tag int
+	Arrive        float64
+	Data          []byte
+}
+
+// Transport moves messages between ranks. Implementations must deliver
+// messages between a fixed (from, to) pair in send order; Recv blocks until
+// a message with the requested source and tag is available.
+type Transport interface {
+	// Send enqueues m for delivery to m.To. It must not block indefinitely.
+	Send(m Message)
+	// Recv returns the oldest pending message from `from` to `self` whose
+	// tag equals `tag`, blocking until one arrives.
+	Recv(self, from, tag int) Message
+	// Close releases transport resources. After Close, behaviour of Send
+	// and Recv is undefined.
+	Close() error
+}
+
+// PeerFailure is the panic value raised on ranks blocked in Recv when
+// another rank of the same run has panicked (see Transport poisoning in
+// Run): without it, one failing rank would deadlock every peer blocked on
+// a message that will never arrive.
+type PeerFailure struct{}
+
+func (PeerFailure) String() string { return "comm: a peer rank failed" }
+
+// Poisoner is implemented by transports that can wake all blocked receivers
+// after a rank failure.
+type Poisoner interface {
+	Poison()
+}
+
+// mailbox is an unbounded FIFO of messages from one sender with tag
+// matching: a receiver may ask for a specific tag and messages with other
+// tags stay queued.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Message
+	dead    bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	mb.pending = append(mb.pending, m)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+func (mb *mailbox) take(tag int) Message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.pending {
+			if m.Tag == tag {
+				copy(mb.pending[i:], mb.pending[i+1:])
+				mb.pending[len(mb.pending)-1] = Message{}
+				mb.pending = mb.pending[:len(mb.pending)-1]
+				return m
+			}
+		}
+		if mb.dead {
+			panic(PeerFailure{})
+		}
+		mb.cond.Wait()
+	}
+}
+
+// poison wakes every waiter with a PeerFailure panic.
+func (mb *mailbox) poison() {
+	mb.mu.Lock()
+	mb.dead = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// MemTransport delivers messages through in-process queues. It is safe for
+// concurrent use by all ranks.
+type MemTransport struct {
+	n     int
+	boxes []*mailbox // boxes[to*n+from]
+}
+
+// NewMemTransport returns an in-memory transport connecting n ranks.
+func NewMemTransport(n int) *MemTransport {
+	t := &MemTransport{n: n, boxes: make([]*mailbox, n*n)}
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox()
+	}
+	return t
+}
+
+// Send implements Transport.
+func (t *MemTransport) Send(m Message) {
+	if m.To < 0 || m.To >= t.n || m.From < 0 || m.From >= t.n {
+		panic(fmt.Sprintf("comm: send with bad ranks from=%d to=%d n=%d", m.From, m.To, t.n))
+	}
+	t.boxes[m.To*t.n+m.From].put(m)
+}
+
+// Recv implements Transport.
+func (t *MemTransport) Recv(self, from, tag int) Message {
+	return t.boxes[self*t.n+from].take(tag)
+}
+
+// Close implements Transport.
+func (t *MemTransport) Close() error { return nil }
+
+// Poison implements Poisoner: all blocked and future Recvs panic with
+// PeerFailure.
+func (t *MemTransport) Poison() {
+	for _, mb := range t.boxes {
+		mb.poison()
+	}
+}

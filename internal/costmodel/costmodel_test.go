@@ -1,0 +1,58 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPSC860Valid(t *testing.T) {
+	m := IPSC860()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "iPSC/860" {
+		t.Errorf("Name = %q", m.Name)
+	}
+	// Message cost must be affine: alpha + beta*n.
+	if got := m.MsgCost(0); got != m.Alpha {
+		t.Errorf("MsgCost(0) = %v, want alpha %v", got, m.Alpha)
+	}
+	if got := m.MsgCost(1000); math.Abs(got-(m.Alpha+1000*m.Beta)) > 1e-18 {
+		t.Errorf("MsgCost(1000) = %v", got)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	m := Uniform(2)
+	if m.Alpha != 2 || m.Beta != 2 || m.Flop != 2 || m.Mem != 2 {
+		t.Errorf("Uniform(2) = %+v", *m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsNonPositive(t *testing.T) {
+	bad := &Machine{Alpha: 1, Beta: 0, Flop: 1, Mem: 1}
+	if bad.Validate() == nil {
+		t.Error("zero Beta accepted")
+	}
+	bad = &Machine{Alpha: -1, Beta: 1, Flop: 1, Mem: 1}
+	if bad.Validate() == nil {
+		t.Error("negative Alpha accepted")
+	}
+}
+
+func TestCostsScaleLinearly(t *testing.T) {
+	m := IPSC860()
+	f := func(n uint16) bool {
+		k := int(n)
+		return m.FlopCost(k) == m.Flop*float64(k) &&
+			m.MemCost(k) == m.Mem*float64(k) &&
+			m.MsgCost(2*k) >= m.MsgCost(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

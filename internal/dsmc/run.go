@@ -1,0 +1,341 @@
+package dsmc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/loopir"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+)
+
+// Phase keys in ProcResult.Phases.
+const (
+	PhaseMove      = "move"
+	PhaseCollide   = "collide"
+	PhasePartition = "partition"
+	PhaseRemap     = "remap"
+)
+
+// ProcResult is one rank's outcome of a parallel DSMC run. Checksum is
+// global (identical on all ranks).
+type ProcResult struct {
+	Phases     map[string]float64
+	PhaseStats map[string]comm.Stats
+	Spans      []core.Span
+	Checksum   float64
+	// MoveTime is the total virtual time of the MOVE phase (the paper's
+	// "Reduce append" row in Table 7 for the light mover).
+	MoveTime float64
+}
+
+// Run executes the parallel DSMC simulation on one SPMD rank. Collective.
+func Run(p *comm.Proc, cfg Config) *ProcResult {
+	res, _ := run(p, cfg)
+	return res
+}
+
+// RunKeepMols is Run but also returns this rank's final molecule records
+// (for correctness validation against the sequential reference).
+func RunKeepMols(p *comm.Proc, cfg Config) []float64 {
+	_, mols := run(p, cfg)
+	return mols
+}
+
+func run(p *comm.Proc, cfg Config) (*ProcResult, []float64) {
+	cfg.Validate()
+	rt := core.NewRuntime(p)
+	cells := rt.BlockDist(cfg.NCells())
+	timer := core.NewPhaseTimer(p)
+
+	// Each rank keeps the molecules whose cell it owns.
+	all := GenMolecules(cfg)
+	var mols []float64
+	for i := 0; i < cfg.NMols; i++ {
+		rec := all[i*recordWidth : (i+1)*recordWidth]
+		c := CellOf(&cfg, rec)
+		if int(cells.TT().OwnerOf(c)) == p.Rank() {
+			mols = append(mols, rec...)
+		}
+	}
+	timer.Skip() // setup is not measured
+
+	// Remapping policies partition once before the run as well.
+	if cfg.RemapEvery > 0 && cfg.Partitioner != "block" {
+		cells, mols = remapCells(p, &cfg, cells, mols, timer)
+	}
+
+	for step := 1; step <= cfg.Steps; step++ {
+		switch cfg.Mover {
+		case MoverLight:
+			mols = moveLight(p, &cfg, cells, mols)
+		case MoverRegular:
+			mols = moveRegular(p, &cfg, cells, mols)
+		case MoverCompiler:
+			mols = moveCompiler(p, &cfg, cells, mols)
+		}
+		timer.Mark(PhaseMove)
+
+		collideOwned(p, &cfg, cells, mols, step)
+		timer.Mark(PhaseCollide)
+
+		if cfg.RemapEvery > 0 && step%cfg.RemapEvery == 0 && step < cfg.Steps {
+			cells, mols = remapCells(p, &cfg, cells, mols, timer)
+		}
+	}
+
+	res := &ProcResult{Phases: timer.Times, PhaseStats: timer.Stats, Spans: timer.Spans()}
+	res.MoveTime = timer.Times[PhaseMove]
+	res.Checksum = p.AllReduceScalarF64(comm.OpSum, Checksum(mols))
+	return res, mols
+}
+
+// moveLight is the MOVE phase with a light-weight schedule: advance every
+// molecule, then scatter_append the records to the owners of their new
+// cells. No index translation, no placement order.
+func moveLight(p *comm.Proc, cfg *Config, cells *core.Dist, mols []float64) []float64 {
+	n := len(mols) / recordWidth
+	dest := make([]int32, n)
+	for i := 0; i < n; i++ {
+		rec := mols[i*recordWidth : (i+1)*recordWidth]
+		advance(cfg, rec, cfg.Dt)
+		dest[i] = cells.TT().OwnerOf(CellOf(cfg, rec))
+	}
+	p.ComputeFlops(moveFlopsPerMol * n)
+	ls := schedule.BuildLight(p, dest)
+	return ls.MoveF64(p, dest, mols, recordWidth)
+}
+
+// moveCompiler is the MOVE phase as the Fortran 90D compiler generates it
+// from the REDUCE(APPEND) intrinsic (Figure 11): the record movement is
+// lowered to a light-weight schedule, but the generated code additionally
+// recomputes the per-cell sizes with an irregular sum-reduction, paying
+// extra communication the manually parallelized version avoids (Table 7).
+func moveCompiler(p *comm.Proc, cfg *Config, cells *core.Dist, mols []float64) []float64 {
+	n := len(mols) / recordWidth
+	destRows := make([]int32, n)
+	for i := 0; i < n; i++ {
+		rec := mols[i*recordWidth : (i+1)*recordWidth]
+		advance(cfg, rec, cfg.Dt)
+		destRows[i] = int32(CellOf(cfg, rec))
+	}
+	p.ComputeFlops(moveFlopsPerMol * n)
+	recv, sizes := loopir.ReduceAppend(p, cells, destRows, mols, recordWidth)
+	// The generated program stores new_size; sanity-check it against the
+	// received records (the physics does not otherwise consume it).
+	var total int32
+	for _, s := range sizes {
+		total += s
+	}
+	if int(total)*recordWidth != len(recv) {
+		panic(fmt.Sprintf("dsmc: compiler new_size %d disagrees with %d received records", total, len(recv)/recordWidth))
+	}
+	return recv
+}
+
+// moveRegular is the MOVE phase with a regular communication schedule, as
+// contrasted in Table 4: every molecule is assigned a placement slot in a
+// global new_cells array (cells x SlotCap), destination slots are reserved
+// through the cells' owners, indices are translated, and a schedule with
+// permutation lists is built and executed — all of it redone every step
+// because the access pattern changes every step.
+func moveRegular(p *comm.Proc, cfg *Config, cells *core.Dist, mols []float64) []float64 {
+	n := len(mols) / recordWidth
+	tt := cells.TT()
+	dest := make([]int32, n)
+	for i := 0; i < n; i++ {
+		rec := mols[i*recordWidth : (i+1)*recordWidth]
+		advance(cfg, rec, cfg.Dt)
+		dest[i] = int32(CellOf(cfg, rec))
+	}
+	p.ComputeFlops(moveFlopsPerMol * n)
+
+	// Slot reservation: send (cell, count) pairs to each destination
+	// cell's owner; owners assign bases in rank order and reply.
+	type cellReq struct {
+		cell  int32
+		count int32
+	}
+	perOwner := make([][]cellReq, p.Size())
+	reqPos := map[int32]int{} // cell -> index into its owner's request list
+	molSeq := make([]int32, n)
+	for i := 0; i < n; i++ {
+		c := dest[i]
+		o := tt.OwnerOf(int(c))
+		if k, ok := reqPos[c]; ok {
+			perOwner[o][k].count++
+			molSeq[i] = perOwner[o][k].count - 1
+		} else {
+			reqPos[c] = len(perOwner[o])
+			perOwner[o] = append(perOwner[o], cellReq{cell: c, count: 1})
+			molSeq[i] = 0
+		}
+	}
+	p.ComputeMem(2 * n)
+
+	reqBufs := make([][]byte, p.Size())
+	for r := range perOwner {
+		flat := make([]int32, 2*len(perOwner[r]))
+		for k, cr := range perOwner[r] {
+			flat[2*k] = cr.cell
+			flat[2*k+1] = cr.count
+		}
+		reqBufs[r] = comm.EncodeI32(flat)
+	}
+	incoming := p.AllToAll(reqBufs)
+
+	// Owner side: assign bases in rank order; track fill totals.
+	nOwnedCells := cells.NLocal()
+	fills := make([]int32, nOwnedCells)
+	replies := make([][]byte, p.Size())
+	for src := 0; src < p.Size(); src++ {
+		recs := comm.DecodeI32(incoming[src])
+		base := make([]int32, len(recs)/2)
+		for k := 0; k+1 < len(recs); k += 2 {
+			c, cnt := recs[k], recs[k+1]
+			if int(tt.OwnerOf(int(c))) != p.Rank() {
+				panic(fmt.Sprintf("dsmc: slot request for cell %d not owned by rank %d", c, p.Rank()))
+			}
+			row := tt.OffsetOf(int(c))
+			base[k/2] = fills[row]
+			fills[row] += cnt
+			if fills[row] > int32(cfg.SlotCap) {
+				panic(fmt.Sprintf("dsmc: cell %d overflows SlotCap=%d (%d molecules)", c, cfg.SlotCap, fills[row]))
+			}
+		}
+		p.ComputeMem(len(recs))
+		replies[src] = comm.EncodeI32(base)
+	}
+	answered := p.AllToAll(replies)
+	bases := make([][]int32, p.Size())
+	for r := range answered {
+		bases[r] = comm.DecodeI32(answered[r])
+	}
+
+	// Translate each molecule's slot to (owner, offset).
+	owners := make([]int32, n)
+	offsets := make([]int32, n)
+	for i := 0; i < n; i++ {
+		c := dest[i]
+		o := tt.OwnerOf(int(c))
+		owners[i] = o
+		k := reqPos[c]
+		offsets[i] = (tt.OffsetOf(int(c)))*int32(cfg.SlotCap) + bases[o][k] + molSeq[i]
+	}
+	p.ComputeMem(3 * n)
+
+	// Build the regular schedule (with permutation lists) and scatter the
+	// records into the slot array.
+	nLocalSlots := nOwnedCells * cfg.SlotCap
+	sched, loc := schedule.FromTranslated(p, nLocalSlots, owners, offsets)
+	buf := make([]float64, sched.MinLen()*recordWidth)
+	for i := 0; i < n; i++ {
+		copy(buf[int(loc[i])*recordWidth:], mols[i*recordWidth:(i+1)*recordWidth])
+	}
+	p.ComputeMem(n * recordWidth)
+	schedule.ScatterW(p, sched, buf, recordWidth, schedule.OpReplace)
+
+	// Compact the owned slots back into a molecule list (the placement-
+	// order rearrangement cost regular schedules pay).
+	var out []float64
+	for row := 0; row < nOwnedCells; row++ {
+		lo := row * cfg.SlotCap
+		out = append(out, buf[lo*recordWidth:(lo+int(fills[row]))*recordWidth]...)
+	}
+	p.ComputeMem(nOwnedCells + len(out))
+	return out
+}
+
+// collideOwned buckets local molecules into owned-cell rows and runs the
+// collision phase.
+func collideOwned(p *comm.Proc, cfg *Config, cells *core.Dist, mols []float64, step int) {
+	tt := cells.TT()
+	members := make([][]int, cells.NLocal())
+	n := len(mols) / recordWidth
+	for i := 0; i < n; i++ {
+		c := CellOf(cfg, mols[i*recordWidth:])
+		if int(tt.OwnerOf(c)) != p.Rank() {
+			panic(fmt.Sprintf("dsmc: rank %d holds molecule of cell %d owned by %d", p.Rank(), c, tt.OwnerOf(c)))
+		}
+		row := tt.OffsetOf(c)
+		members[row] = append(members[row], i*recordWidth)
+	}
+	for row, mm := range members {
+		collideCell(cfg, mols, mm, int(cells.Globals()[row]), step)
+	}
+	p.ComputeFlops(cfg.collideCost() * n)
+	p.ComputeMem(collideMemPerMol * n)
+}
+
+// remapCells runs the load-balancing pipeline: weigh cells by their current
+// molecule population, partition, rebuild the distribution, and migrate
+// molecules to the new owners of their cells.
+func remapCells(p *comm.Proc, cfg *Config, cells *core.Dist, mols []float64, timer *core.PhaseTimer) (*core.Dist, []float64) {
+	// Cell weights: molecules per cell + 1.
+	w := make([]float64, cells.NLocal())
+	for i := range w {
+		w[i] = 1
+	}
+	n := len(mols) / recordWidth
+	tt := cells.TT()
+	for i := 0; i < n; i++ {
+		w[tt.OffsetOf(CellOf(cfg, mols[i*recordWidth:]))]++
+	}
+	p.ComputeMem(n)
+
+	geom := &partition.Geom{Dim: 3, W: w}
+	if cfg.NZ == 1 {
+		geom.Dim = 2
+	}
+	geom.X = make([]float64, cells.NLocal())
+	geom.Y = make([]float64, cells.NLocal())
+	geom.Z = make([]float64, cells.NLocal())
+	for i, g := range cells.Globals() {
+		geom.X[i], geom.Y[i], geom.Z[i] = CellCenter(cfg, int(g))
+	}
+	var owners []int32
+	switch cfg.Partitioner {
+	case "rcb":
+		owners = partition.RCB(p, geom)
+	case "rib":
+		owners = partition.RIB(p, geom)
+	case "chain":
+		owners = partition.Chain(p, 0, geom)
+	default: // "block": keep the block assignment
+		owners = make([]int32, cells.NLocal())
+		for i, g := range cells.Globals() {
+			owners[i] = int32(partition.BlockOwner(int(g), cells.N(), p.Size()))
+		}
+	}
+	p.Barrier()
+	timer.Mark(PhasePartition)
+
+	newCells, _ := cells.Repartition(owners)
+	dest := make([]int32, n)
+	for i := 0; i < n; i++ {
+		dest[i] = newCells.TT().OwnerOf(CellOf(cfg, mols[i*recordWidth:]))
+	}
+	p.ComputeMem(n)
+	ls := schedule.BuildLight(p, dest)
+	newMols := ls.MoveF64(p, dest, mols, recordWidth)
+	p.Barrier()
+	timer.Mark(PhaseRemap)
+	return newCells, newMols
+}
+
+// SortByID orders a molecule record slice by molecule id (for tests).
+func SortByID(mols []float64) []float64 {
+	n := len(mols) / recordWidth
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return mols[idx[a]*recordWidth] < mols[idx[b]*recordWidth] })
+	out := make([]float64, len(mols))
+	for k, i := range idx {
+		copy(out[k*recordWidth:], mols[i*recordWidth:(i+1)*recordWidth])
+	}
+	return out
+}

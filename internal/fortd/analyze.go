@@ -1,0 +1,396 @@
+package fortd
+
+import "fmt"
+
+// symbols is the semantic-analysis symbol table.
+type symbols struct {
+	decomps map[string]*decl // DECOMPOSITION
+	dists   map[string]DistKind
+	reals   map[string]*decl // REAL arrays
+	inds    map[string]*decl // INDIRECTION arrays
+}
+
+// sumLoopInfo is the analyzed form of a Figure 10-style loop.
+type sumLoopInfo struct {
+	f       *forall
+	readArr string // the single array read by the body
+	redArr  string // the single array reduced into
+	width   int
+	flops   int // modeled arithmetic per pair
+}
+
+// appendLoopInfo is the analyzed form of a Figure 9/11-style loop.
+type appendLoopInfo struct {
+	f     *forall
+	width int
+}
+
+// pairLoopInfo is the analyzed form of a Figure 2 bonded-style loop: a
+// single-level FORALL over an iteration decomposition whose body reads and
+// reduces a different data decomposition through two flat indirections.
+type pairLoopInfo struct {
+	f          *forall
+	indA, indB string // the two flat indirections (may coincide)
+	dataDec    string
+	readArr    string
+	redArr     string
+	width      int
+	flops      int
+}
+
+// loopKind discriminates the compiled loop forms.
+type loopKind int
+
+const (
+	loopSum loopKind = iota
+	loopAppend
+	loopPair
+)
+
+// loopRef locates a compiled loop: program order entry -> (kind, index
+// within that kind's slice).
+type loopRef struct {
+	kind loopKind
+	idx  int
+}
+
+// analysis is the result of semantic checking.
+type analysis struct {
+	syms    *symbols
+	sums    []*sumLoopInfo
+	appends []*appendLoopInfo
+	pairs   []*pairLoopInfo
+	// order[i] locates the i-th forall in program order.
+	order []loopRef
+}
+
+// analyze performs semantic checking and classifies each FORALL.
+func analyze(prog *program) (*analysis, error) {
+	syms := &symbols{
+		decomps: map[string]*decl{},
+		dists:   map[string]DistKind{},
+		reals:   map[string]*decl{},
+		inds:    map[string]*decl{},
+	}
+	declared := func(name string) bool {
+		_, d := syms.decomps[name]
+		_, r := syms.reals[name]
+		_, i := syms.inds[name]
+		return d || r || i
+	}
+	for k := range prog.decls {
+		d := &prog.decls[k]
+		switch d.kind {
+		case declDecomposition:
+			if declared(d.name) {
+				return nil, fmt.Errorf("fortd: line %d: %q already declared", d.line, d.name)
+			}
+			syms.decomps[d.name] = d
+			syms.dists[d.name] = DistBlock
+		case declDistribute:
+			if _, ok := syms.decomps[d.name]; !ok {
+				return nil, fmt.Errorf("fortd: line %d: DISTRIBUTE of undeclared decomposition %q", d.line, d.name)
+			}
+			syms.dists[d.name] = d.dist
+		case declReal:
+			if declared(d.name) {
+				return nil, fmt.Errorf("fortd: line %d: %q already declared", d.line, d.name)
+			}
+			if _, ok := syms.decomps[d.decomp]; !ok {
+				return nil, fmt.Errorf("fortd: line %d: REAL %s aligned with undeclared decomposition %q", d.line, d.name, d.decomp)
+			}
+			syms.reals[d.name] = d
+		case declIndirection:
+			if declared(d.name) {
+				return nil, fmt.Errorf("fortd: line %d: %q already declared", d.line, d.name)
+			}
+			if _, ok := syms.decomps[d.decomp]; !ok {
+				return nil, fmt.Errorf("fortd: line %d: INDIRECTION %s aligned with undeclared decomposition %q", d.line, d.name, d.decomp)
+			}
+			syms.inds[d.name] = d
+		}
+	}
+
+	an := &analysis{syms: syms}
+	for k := range prog.foralls {
+		f := &prog.foralls[k]
+		if _, ok := syms.decomps[f.overDec]; !ok {
+			return nil, fmt.Errorf("fortd: line %d: FORALL over undeclared decomposition %q", f.line, f.overDec)
+		}
+		switch {
+		case f.isAppend:
+			info, err := analyzeAppend(syms, f)
+			if err != nil {
+				return nil, err
+			}
+			an.order = append(an.order, loopRef{loopAppend, len(an.appends)})
+			an.appends = append(an.appends, info)
+		case f.isPair:
+			info, err := analyzePair(syms, f)
+			if err != nil {
+				return nil, err
+			}
+			an.order = append(an.order, loopRef{loopPair, len(an.pairs)})
+			an.pairs = append(an.pairs, info)
+		default:
+			info, err := analyzeSum(syms, f)
+			if err != nil {
+				return nil, err
+			}
+			an.order = append(an.order, loopRef{loopSum, len(an.sums)})
+			an.sums = append(an.sums, info)
+		}
+	}
+	return an, nil
+}
+
+// analyzeSum checks the Figure 10 template constraints.
+func analyzeSum(syms *symbols, f *forall) (*sumLoopInfo, error) {
+	ind, ok := syms.inds[f.innerInd]
+	if !ok {
+		return nil, fmt.Errorf("fortd: line %d: inner FORALL over undeclared indirection %q", f.line, f.innerInd)
+	}
+	if !ind.csr {
+		return nil, fmt.Errorf("fortd: line %d: inner FORALL requires a CSR indirection, %q is flat", f.line, f.innerInd)
+	}
+	if ind.decomp != f.overDec {
+		return nil, fmt.Errorf("fortd: line %d: indirection %q is aligned with %q, not with the loop decomposition %q",
+			f.line, f.innerInd, ind.decomp, f.overDec)
+	}
+
+	info := &sumLoopInfo{f: f}
+	checkSub := func(s subscript) error {
+		if s.Ind == "" {
+			if s.Var != f.outerVar {
+				return fmt.Errorf("fortd: line %d: direct subscript must be the outer variable %q, found %q", s.line, f.outerVar, s.Var)
+			}
+			return nil
+		}
+		if s.Ind != f.innerInd {
+			return fmt.Errorf("fortd: line %d: only the loop indirection %q may subscript here, found %q", s.line, f.innerInd, s.Ind)
+		}
+		if s.Var != f.innerVar {
+			return fmt.Errorf("fortd: line %d: indirection subscript must be %s(%s)", s.line, f.innerInd, f.innerVar)
+		}
+		return nil
+	}
+	noteRead := func(r *refExpr) error {
+		ra, ok := syms.reals[r.array]
+		if !ok {
+			return fmt.Errorf("fortd: line %d: read of undeclared array %q", r.sub.line, r.array)
+		}
+		if ra.decomp != f.overDec {
+			return fmt.Errorf("fortd: line %d: array %q is aligned with %q, not %q", r.sub.line, r.array, ra.decomp, f.overDec)
+		}
+		if info.readArr == "" {
+			info.readArr = r.array
+			info.width = ra.width
+		} else if info.readArr != r.array {
+			return fmt.Errorf("fortd: line %d: body reads both %q and %q; a single read array is supported", r.sub.line, info.readArr, r.array)
+		}
+		return checkSub(r.sub)
+	}
+
+	var walk func(e expr) error
+	walk = func(e expr) error {
+		switch v := e.(type) {
+		case *binExpr:
+			if err := walk(v.l); err != nil {
+				return err
+			}
+			return walk(v.r)
+		case *negExpr:
+			return walk(v.e)
+		case *numExpr:
+			return nil
+		case *refExpr:
+			return noteRead(v)
+		default:
+			return fmt.Errorf("fortd: unknown expression node %T", e)
+		}
+	}
+
+	for i := range f.reduces {
+		st := &f.reduces[i]
+		ta, ok := syms.reals[st.target.array]
+		if !ok {
+			return nil, fmt.Errorf("fortd: line %d: REDUCE into undeclared array %q", st.line, st.target.array)
+		}
+		if ta.decomp != f.overDec {
+			return nil, fmt.Errorf("fortd: line %d: array %q is aligned with %q, not %q", st.line, st.target.array, ta.decomp, f.overDec)
+		}
+		if info.redArr == "" {
+			info.redArr = st.target.array
+		} else if info.redArr != st.target.array {
+			return nil, fmt.Errorf("fortd: line %d: body reduces into both %q and %q; a single reduction array is supported",
+				st.line, info.redArr, st.target.array)
+		}
+		if err := checkSub(st.target.sub); err != nil {
+			return nil, err
+		}
+		if err := walk(st.value); err != nil {
+			return nil, err
+		}
+		info.flops += exprOps(st.value) + 1 // +1 for the accumulation
+	}
+	if info.readArr == "" {
+		return nil, fmt.Errorf("fortd: line %d: loop body reads no array", f.line)
+	}
+	if info.readArr == info.redArr {
+		return nil, fmt.Errorf("fortd: line %d: array %q is both read and reduced; use distinct arrays", f.line, info.readArr)
+	}
+	if syms.reals[info.redArr].width != info.width {
+		return nil, fmt.Errorf("fortd: line %d: read array %q (width %d) and reduction array %q (width %d) differ",
+			f.line, info.readArr, info.width, info.redArr, syms.reals[info.redArr].width)
+	}
+	info.flops *= info.width
+	return info, nil
+}
+
+// analyzeAppend checks the Figure 9/11 template constraints.
+func analyzeAppend(syms *symbols, f *forall) (*appendLoopInfo, error) {
+	if _, ok := syms.decomps[f.appendTarget]; !ok {
+		return nil, fmt.Errorf("fortd: line %d: REDUCE(APPEND) into undeclared decomposition %q", f.line, f.appendTarget)
+	}
+	dst, ok := syms.inds[f.appendDest]
+	if !ok {
+		return nil, fmt.Errorf("fortd: line %d: undeclared destination indirection %q", f.line, f.appendDest)
+	}
+	if dst.csr || dst.width != 1 {
+		return nil, fmt.Errorf("fortd: line %d: destination indirection %q must be flat with WIDTH 1", f.line, f.appendDest)
+	}
+	if dst.decomp != f.overDec {
+		return nil, fmt.Errorf("fortd: line %d: destination %q aligned with %q, not %q", f.line, f.appendDest, dst.decomp, f.overDec)
+	}
+	src, ok := syms.reals[f.appendSrc]
+	if !ok {
+		return nil, fmt.Errorf("fortd: line %d: undeclared record array %q", f.line, f.appendSrc)
+	}
+	if src.decomp != f.overDec {
+		return nil, fmt.Errorf("fortd: line %d: record array %q aligned with %q, not %q", f.line, f.appendSrc, src.decomp, f.overDec)
+	}
+	return &appendLoopInfo{f: f, width: src.width}, nil
+}
+
+// analyzePair checks the Figure 2 bonded-template constraints: every
+// subscript is flatInd(outerVar) with at most two distinct flat
+// indirections aligned with the iteration decomposition, and all arrays
+// referenced share one (possibly different) data decomposition.
+func analyzePair(syms *symbols, f *forall) (*pairLoopInfo, error) {
+	info := &pairLoopInfo{f: f}
+	noteInd := func(s subscript) error {
+		if s.Ind == "" {
+			return fmt.Errorf("fortd: line %d: pair-form subscripts must go through an indirection array", s.line)
+		}
+		if s.Var != f.outerVar {
+			return fmt.Errorf("fortd: line %d: subscript variable must be %q", s.line, f.outerVar)
+		}
+		ind, ok := syms.inds[s.Ind]
+		if !ok {
+			return fmt.Errorf("fortd: line %d: undeclared indirection %q", s.line, s.Ind)
+		}
+		if ind.csr || ind.width != 1 {
+			return fmt.Errorf("fortd: line %d: pair-form indirection %q must be flat WIDTH 1", s.line, s.Ind)
+		}
+		if ind.decomp != f.overDec {
+			return fmt.Errorf("fortd: line %d: indirection %q aligned with %q, not the loop decomposition %q",
+				s.line, s.Ind, ind.decomp, f.overDec)
+		}
+		switch {
+		case info.indA == "" || info.indA == s.Ind:
+			info.indA = s.Ind
+		case info.indB == "" || info.indB == s.Ind:
+			info.indB = s.Ind
+		default:
+			return fmt.Errorf("fortd: line %d: pair form supports at most two indirections; %q is a third", s.line, s.Ind)
+		}
+		return nil
+	}
+	noteArr := func(name string, line int, reduced bool) error {
+		ra, ok := syms.reals[name]
+		if !ok {
+			return fmt.Errorf("fortd: line %d: undeclared array %q", line, name)
+		}
+		if info.dataDec == "" {
+			info.dataDec = ra.decomp
+		} else if info.dataDec != ra.decomp {
+			return fmt.Errorf("fortd: line %d: arrays span decompositions %q and %q", line, info.dataDec, ra.decomp)
+		}
+		if reduced {
+			if info.redArr == "" {
+				info.redArr = name
+			} else if info.redArr != name {
+				return fmt.Errorf("fortd: line %d: body reduces into both %q and %q", line, info.redArr, name)
+			}
+		} else {
+			if info.readArr == "" {
+				info.readArr = name
+				info.width = ra.width
+			} else if info.readArr != name {
+				return fmt.Errorf("fortd: line %d: body reads both %q and %q; a single read array is supported", line, info.readArr, name)
+			}
+		}
+		return nil
+	}
+	var walk func(e expr) error
+	walk = func(e expr) error {
+		switch v := e.(type) {
+		case *binExpr:
+			if err := walk(v.l); err != nil {
+				return err
+			}
+			return walk(v.r)
+		case *negExpr:
+			return walk(v.e)
+		case *numExpr:
+			return nil
+		case *refExpr:
+			if err := noteArr(v.array, v.sub.line, false); err != nil {
+				return err
+			}
+			return noteInd(v.sub)
+		default:
+			return fmt.Errorf("fortd: unknown expression node %T", e)
+		}
+	}
+	for i := range f.reduces {
+		st := &f.reduces[i]
+		if err := noteArr(st.target.array, st.line, true); err != nil {
+			return nil, err
+		}
+		if err := noteInd(st.target.sub); err != nil {
+			return nil, err
+		}
+		if err := walk(st.value); err != nil {
+			return nil, err
+		}
+		info.flops += exprOps(st.value) + 1
+	}
+	if info.readArr == "" {
+		return nil, fmt.Errorf("fortd: line %d: pair loop reads no array", f.line)
+	}
+	if info.readArr == info.redArr {
+		return nil, fmt.Errorf("fortd: line %d: array %q is both read and reduced", f.line, info.readArr)
+	}
+	if syms.reals[info.redArr].width != info.width {
+		return nil, fmt.Errorf("fortd: line %d: read array %q (width %d) and reduction array %q (width %d) differ",
+			f.line, info.readArr, info.width, info.redArr, syms.reals[info.redArr].width)
+	}
+	if info.indB == "" {
+		info.indB = info.indA
+	}
+	info.flops *= info.width
+	return info, nil
+}
+
+// exprOps counts arithmetic operations for the cost model.
+func exprOps(e expr) int {
+	switch v := e.(type) {
+	case *binExpr:
+		return 1 + exprOps(v.l) + exprOps(v.r)
+	case *negExpr:
+		return 1 + exprOps(v.e)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,276 @@
+package fortd
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/loopir"
+)
+
+// Program is a compiled Fortran D program: parsed, semantically checked,
+// ready to be instantiated on SPMD ranks.
+type Program struct {
+	ast *program
+	an  *analysis
+}
+
+// Compile parses and checks src.
+func Compile(src string) (*Program, error) {
+	ast, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	an, err := analyze(ast)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: ast, an: an}, nil
+}
+
+// NumLoops returns the number of executable FORALL nests.
+func (pr *Program) NumLoops() int { return len(pr.ast.foralls) }
+
+// Instance is a program instantiated on one SPMD rank: decompositions,
+// aligned arrays and compiled loops bound to the loopir runtime. Hosts set
+// array contents and CSR indirections by name, optionally redistribute
+// MAP-distributed decompositions, and call Step to execute the loops.
+type Instance struct {
+	prog  *Program
+	P     *comm.Proc
+	lp    *loopir.Program
+	decs  map[string]*loopir.Decomposition
+	reals map[string]*loopir.RealArray
+	inds  map[string]*loopir.IndArray
+	sums  []*loopir.SumLoop
+	pairs []*loopir.PairLoop
+}
+
+// AppendResult is the outcome of one REDUCE(APPEND) loop on this rank: the
+// records delivered to the rows this rank owns (arrival order) and the new
+// size of every owned row.
+type AppendResult struct {
+	Loop    int // index into program order
+	Records []float64
+	Sizes   []int32
+}
+
+// Instantiate lowers the program onto one SPMD rank. Collective: all ranks
+// must instantiate the same program together.
+func (pr *Program) Instantiate(p *comm.Proc) *Instance {
+	in := &Instance{
+		prog:  pr,
+		P:     p,
+		lp:    loopir.NewProgram(p),
+		decs:  map[string]*loopir.Decomposition{},
+		reals: map[string]*loopir.RealArray{},
+		inds:  map[string]*loopir.IndArray{},
+	}
+	for k := range pr.ast.decls {
+		d := &pr.ast.decls[k]
+		switch d.kind {
+		case declDecomposition:
+			if pr.an.syms.dists[d.name] == DistCyclic {
+				in.decs[d.name] = in.lp.CyclicDecomposition(d.n)
+			} else {
+				in.decs[d.name] = in.lp.Decomposition(d.n)
+			}
+		case declReal:
+			in.reals[d.name] = in.decs[d.decomp].AlignReal(d.width)
+		case declIndirection:
+			if d.csr {
+				in.inds[d.name] = in.decs[d.decomp].AlignIndCSR()
+			} else {
+				in.inds[d.name] = in.decs[d.decomp].AlignIndFlat(d.width)
+			}
+		}
+	}
+	// Compile the sum and pair loops now; append loops are executed per
+	// Step.
+	for _, info := range pr.an.sums {
+		x := in.reals[info.readArr]
+		f := in.reals[info.redArr]
+		ind := in.inds[info.f.innerInd]
+		body := compileBody(info)
+		in.sums = append(in.sums, in.lp.NewSumLoop(ind, x, f, info.flops, body))
+	}
+	for _, info := range pr.an.pairs {
+		x := in.reals[info.readArr]
+		f := in.reals[info.redArr]
+		ia := in.inds[info.indA]
+		ib := in.inds[info.indB]
+		body := compilePairBody(info)
+		in.pairs = append(in.pairs, in.lp.NewPairLoop(ia, ib, x, f, info.flops, body))
+	}
+	return in
+}
+
+// compilePairBody turns the pair-form REDUCE(SUM) statements into a
+// loopir.PairBody: references through indA resolve to the (xi, fi) side,
+// references through indB to the (xj, fj) side.
+func compilePairBody(info *pairLoopInfo) loopir.PairIterBody {
+	stmts := info.f.reduces
+	width := info.width
+	indA := info.indA
+	return func(_ int, xi, xj, fi, fj []float64) {
+		for c := 0; c < width; c++ {
+			for k := range stmts {
+				v := evalPairExpr(stmts[k].value, indA, xi, xj, c)
+				if stmts[k].target.sub.Ind == indA {
+					fi[c] += v
+				} else {
+					fj[c] += v
+				}
+			}
+		}
+	}
+}
+
+// evalPairExpr interprets an expression with indirection-keyed operand
+// resolution.
+func evalPairExpr(e expr, indA string, xi, xj []float64, c int) float64 {
+	switch v := e.(type) {
+	case *numExpr:
+		return v.v
+	case *negExpr:
+		return -evalPairExpr(v.e, indA, xi, xj, c)
+	case *binExpr:
+		l := evalPairExpr(v.l, indA, xi, xj, c)
+		r := evalPairExpr(v.r, indA, xi, xj, c)
+		switch v.op {
+		case '+':
+			return l + r
+		case '-':
+			return l - r
+		case '*':
+			return l * r
+		default:
+			return l / r
+		}
+	case *refExpr:
+		if v.sub.Ind == indA {
+			return xi[c]
+		}
+		return xj[c]
+	default:
+		panic(fmt.Sprintf("fortd: unknown expression node %T", e))
+	}
+}
+
+// compileBody turns the REDUCE(SUM) statements into a loopir.PairBody by
+// interpreting the expression AST per component.
+func compileBody(info *sumLoopInfo) loopir.PairBody {
+	stmts := info.f.reduces
+	width := info.width
+	return func(xi, xj, fi, fj []float64) {
+		for c := 0; c < width; c++ {
+			for k := range stmts {
+				v := evalExpr(stmts[k].value, xi, xj, c)
+				if stmts[k].target.sub.Ind == "" {
+					fi[c] += v
+				} else {
+					fj[c] += v
+				}
+			}
+		}
+	}
+}
+
+// evalExpr interprets an expression for component c of the pair (xi, xj).
+func evalExpr(e expr, xi, xj []float64, c int) float64 {
+	switch v := e.(type) {
+	case *numExpr:
+		return v.v
+	case *negExpr:
+		return -evalExpr(v.e, xi, xj, c)
+	case *binExpr:
+		l := evalExpr(v.l, xi, xj, c)
+		r := evalExpr(v.r, xi, xj, c)
+		switch v.op {
+		case '+':
+			return l + r
+		case '-':
+			return l - r
+		case '*':
+			return l * r
+		default:
+			return l / r
+		}
+	case *refExpr:
+		if v.sub.Ind == "" {
+			return xi[c]
+		}
+		return xj[c]
+	default:
+		panic(fmt.Sprintf("fortd: unknown expression node %T", e))
+	}
+}
+
+// Decomposition returns the named decomposition.
+func (in *Instance) Decomposition(name string) *loopir.Decomposition {
+	d, ok := in.decs[name]
+	if !ok {
+		panic("fortd: unknown decomposition " + name)
+	}
+	return d
+}
+
+// Real returns the named real array.
+func (in *Instance) Real(name string) *loopir.RealArray {
+	a, ok := in.reals[name]
+	if !ok {
+		panic("fortd: unknown real array " + name)
+	}
+	return a
+}
+
+// Ind returns the named indirection array.
+func (in *Instance) Ind(name string) *loopir.IndArray {
+	a, ok := in.inds[name]
+	if !ok {
+		panic("fortd: unknown indirection array " + name)
+	}
+	return a
+}
+
+// Redistribute executes `DISTRIBUTE name(map)` for a MAP-distributed
+// decomposition: newOwners gives the new owner of each local element
+// (typically from an extrinsic partitioner, §5.1.1). Collective.
+func (in *Instance) Redistribute(name string, newOwners []int32) {
+	if in.prog.an.syms.dists[name] != DistMap {
+		panic(fmt.Sprintf("fortd: decomposition %q was not declared DISTRIBUTE(%s)", name, "MAP"))
+	}
+	in.Decomposition(name).Redistribute(newOwners)
+}
+
+// Step executes every FORALL nest once, in program order. Sum loops
+// accumulate into their reduction arrays (generated inspectors re-run only
+// when an indirection array or a distribution changed); append loops return
+// their results. Collective.
+func (in *Instance) Step() []AppendResult {
+	var out []AppendResult
+	for i, ref := range in.prog.an.order {
+		switch ref.kind {
+		case loopSum:
+			in.sums[ref.idx].Execute()
+		case loopPair:
+			in.pairs[ref.idx].Execute()
+		case loopAppend:
+			info := in.prog.an.appends[ref.idx]
+			dest := in.inds[info.f.appendDest]
+			src := in.reals[info.f.appendSrc]
+			target := in.decs[info.f.appendTarget]
+			_, destRows := dest.CSR()
+			recv, sizes := loopir.ReduceAppend(in.P, target.Dist(), destRows, src.Local(), info.width)
+			out = append(out, AppendResult{Loop: i, Records: recv, Sizes: sizes})
+		}
+	}
+	return out
+}
+
+// Inspections returns the cumulative inspector executions of the i-th sum
+// loop (program order over sum loops), exposing the §5.3 reuse behaviour.
+func (in *Instance) Inspections(i int) int { return in.sums[i].Inspections() }
+
+// PairInspections returns the cumulative inspector executions of the i-th
+// pair loop.
+func (in *Instance) PairInspections(i int) int { return in.pairs[i].Inspections() }

@@ -1,0 +1,33 @@
+package fortd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile asserts the compiler front-end never panics on arbitrary
+// input: every outcome must be a compiled program or a diagnosable error.
+func FuzzCompile(f *testing.F) {
+	f.Add(charmmSrc)
+	f.Add(dsmcSrc)
+	f.Add("DECOMPOSITION a(4)")
+	f.Add("FORALL i IN a")
+	f.Add("REAL x(")
+	f.Add("REDUCE(SUM, x(i), )")
+	f.Add("C just a comment\n! another\n")
+	f.Add("DECOMPOSITION a(4)\nINDIRECTION nb(a) CSR\nREAL x(a), f(a)\nFORALL i IN a\n FORALL j IN nb(i)\n  REDUCE(SUM, f(i), x(i) * -3.5 / (x(nb(j)) + 1))\n END FORALL\nEND FORALL")
+	f.Fuzz(func(t *testing.T, src string) {
+		defer func() {
+			if e := recover(); e != nil {
+				t.Fatalf("Compile panicked on %q: %v", src, e)
+			}
+		}()
+		prog, err := Compile(src)
+		if err != nil && prog != nil {
+			t.Fatal("non-nil program returned with an error")
+		}
+		if err != nil && !strings.Contains(err.Error(), "fortd:") {
+			t.Fatalf("error without package prefix: %v", err)
+		}
+	})
+}

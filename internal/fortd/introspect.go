@@ -1,0 +1,99 @@
+package fortd
+
+import "sort"
+
+// Introspection helpers used by drivers (cmd/fortd) to initialize a
+// compiled program's arrays generically.
+
+// RealNames returns the declared REAL array names, sorted.
+func (pr *Program) RealNames() []string {
+	var out []string
+	for name := range pr.an.syms.reals {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IndNames returns the declared INDIRECTION array names, sorted.
+func (pr *Program) IndNames() []string {
+	var out []string
+	for name := range pr.an.syms.inds {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DecompositionNames returns the declared decomposition names, sorted.
+func (pr *Program) DecompositionNames() []string {
+	var out []string
+	for name := range pr.an.syms.decomps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MapDecompositions returns the decompositions declared DISTRIBUTE(MAP),
+// sorted.
+func (pr *Program) MapDecompositions() []string {
+	var out []string
+	for name, k := range pr.an.syms.dists {
+		if k == DistMap {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IndDecomp returns the decomposition an indirection array is aligned with.
+func (pr *Program) IndDecomp(name string) string {
+	d, ok := pr.an.syms.inds[name]
+	if !ok {
+		panic("fortd: unknown indirection array " + name)
+	}
+	return d.decomp
+}
+
+// IndIsCSR reports whether the indirection array has CSR form.
+func (pr *Program) IndIsCSR(name string) bool {
+	d, ok := pr.an.syms.inds[name]
+	if !ok {
+		panic("fortd: unknown indirection array " + name)
+	}
+	return d.csr
+}
+
+// IndTargetN returns the size of the index space an indirection array's
+// values refer to: the decomposition it subscripts in a sum loop (its own
+// aligned decomposition), or the append-target decomposition when the array
+// routes a REDUCE(APPEND).
+func (pr *Program) IndTargetN(name string) int {
+	for _, info := range pr.an.appends {
+		if info.f.appendDest == name {
+			return pr.an.syms.decomps[info.f.appendTarget].n
+		}
+	}
+	for _, info := range pr.an.pairs {
+		if info.indA == name || info.indB == name {
+			return pr.an.syms.decomps[info.dataDec].n
+		}
+	}
+	d, ok := pr.an.syms.inds[name]
+	if !ok {
+		panic("fortd: unknown indirection array " + name)
+	}
+	return pr.an.syms.decomps[d.decomp].n
+}
+
+// NumSumLoops returns the number of FORALL/REDUCE(SUM) nests.
+func (pr *Program) NumSumLoops() int { return len(pr.an.sums) }
+
+// NumAppendLoops returns the number of REDUCE(APPEND) nests.
+func (pr *Program) NumAppendLoops() int { return len(pr.an.appends) }
+
+// NumPairLoops returns the number of single-level two-indirection
+// reduction nests (the Figure 2 bonded template).
+func (pr *Program) NumPairLoops() int { return len(pr.an.pairs) }

@@ -1,0 +1,172 @@
+// Package fortd is a compiler front-end for a small Fortran D dialect —
+// the textual counterpart of the language support described in §5 of the
+// paper. It accepts programs built from the constructs the paper's figures
+// use:
+//
+//	DECOMPOSITION reg(14026)
+//	DISTRIBUTE reg(BLOCK)            ! or DISTRIBUTE reg(MAP)
+//	REAL x(reg,3), dx(reg,3)
+//	INDIRECTION jnb(reg) CSR         ! or INDIRECTION dest(parts) WIDTH 1
+//
+//	FORALL i IN reg
+//	  FORALL j IN jnb(i)
+//	    REDUCE(SUM, dx(jnb(j)), x(jnb(j)) - x(i))
+//	    REDUCE(SUM, dx(i), x(i) - x(jnb(j)))
+//	  END FORALL
+//	END FORALL
+//
+// and the REDUCE(APPEND, ...) intrinsic of §5.2.1:
+//
+//	FORALL i IN parts
+//	  REDUCE(APPEND, cells(dest(i)), parts(i))
+//	END FORALL
+//
+// Compile parses and semantically checks a program; Instantiate lowers it
+// onto the loopir runtime for one SPMD rank, producing the same
+// inspector/executor code (with modification records and schedule reuse)
+// the Syracuse Fortran 90D prototype generated.
+package fortd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	default:
+		return fmt.Sprintf("tokKind(%d)", int(k))
+	}
+}
+
+// token is one lexical token with its source line for diagnostics.
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lex splits src into tokens. Comments start with '!' anywhere, or with
+// 'C'/'c' in the first column (Fortran style); both run to end of line.
+// Newlines are significant (statements are line-oriented).
+func lex(src string) ([]token, error) {
+	var toks []token
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := ln + 1
+		// Fortran comment card: C or * in column one.
+		if len(raw) > 0 && (raw[0] == 'C' || raw[0] == 'c' || raw[0] == '*') {
+			// Only if followed by space or nothing (so identifiers starting
+			// with c at column 0 in free form still work when indented).
+			if len(raw) == 1 || raw[1] == ' ' || raw[1] == '\t' || raw[1] == '$' {
+				continue
+			}
+		}
+		if i := strings.IndexByte(raw, '!'); i >= 0 {
+			raw = raw[:i]
+		}
+		i := 0
+		emitted := false
+		for i < len(raw) {
+			c := rune(raw[i])
+			switch {
+			case c == ' ' || c == '\t' || c == '\r':
+				i++
+			case unicode.IsLetter(c) || c == '_':
+				j := i
+				for j < len(raw) && (isIdentChar(rune(raw[j]))) {
+					j++
+				}
+				toks = append(toks, token{tokIdent, raw[i:j], line})
+				i = j
+				emitted = true
+			case unicode.IsDigit(c) || c == '.':
+				j := i
+				for j < len(raw) && (unicode.IsDigit(rune(raw[j])) || raw[j] == '.') {
+					j++
+				}
+				toks = append(toks, token{tokNumber, raw[i:j], line})
+				i = j
+				emitted = true
+			default:
+				kind, ok := punct(c)
+				if !ok {
+					return nil, fmt.Errorf("fortd: line %d: unexpected character %q", line, c)
+				}
+				toks = append(toks, token{kind, string(c), line})
+				i++
+				emitted = true
+			}
+		}
+		if emitted {
+			toks = append(toks, token{tokNewline, "", line})
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(lines)})
+	return toks, nil
+}
+
+func isIdentChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '$'
+}
+
+func punct(c rune) (tokKind, bool) {
+	switch c {
+	case '(':
+		return tokLParen, true
+	case ')':
+		return tokRParen, true
+	case ',':
+		return tokComma, true
+	case '+':
+		return tokPlus, true
+	case '-':
+		return tokMinus, true
+	case '*':
+		return tokStar, true
+	case '/':
+		return tokSlash, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,638 @@
+package fortd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser consumes the token stream produced by lex.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) line() int   { return p.peek().line }
+func (p *parser) skipNL() {
+	for p.peek().kind == tokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("fortd: line %d: %s", p.line(), fmt.Sprintf(format, args...))
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokKind) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return t, p.errf("expected %v, found %v %q", kind, t.kind, t.text)
+	}
+	return p.next(), nil
+}
+
+// keyword consumes an identifier equal (case-insensitively) to kw.
+func (p *parser) keyword(kw string) error {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("fortd: line %d: expected %q, found %q", t.line, kw, t.text)
+	}
+	return nil
+}
+
+// isKeyword reports whether the next token is the given keyword without
+// consuming it.
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) endOfStmt() error {
+	t := p.peek()
+	if t.kind == tokNewline {
+		p.next()
+		return nil
+	}
+	if t.kind == tokEOF {
+		return nil
+	}
+	return p.errf("unexpected %v %q at end of statement", t.kind, t.text)
+}
+
+// parse builds the program AST.
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &program{}
+	for {
+		p.skipNL()
+		if p.atEOF() {
+			return prog, nil
+		}
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected a statement keyword, found %v %q", t.kind, t.text)
+		}
+		switch strings.ToUpper(t.text) {
+		case "DECOMPOSITION":
+			d, err := p.parseDecomposition()
+			if err != nil {
+				return nil, err
+			}
+			prog.decls = append(prog.decls, d)
+		case "DISTRIBUTE":
+			d, err := p.parseDistribute()
+			if err != nil {
+				return nil, err
+			}
+			prog.decls = append(prog.decls, d)
+		case "REAL":
+			ds, err := p.parseReal()
+			if err != nil {
+				return nil, err
+			}
+			prog.decls = append(prog.decls, ds...)
+		case "INDIRECTION":
+			d, err := p.parseIndirection()
+			if err != nil {
+				return nil, err
+			}
+			prog.decls = append(prog.decls, d)
+		case "FORALL":
+			f, err := p.parseForall()
+			if err != nil {
+				return nil, err
+			}
+			prog.foralls = append(prog.foralls, f)
+		default:
+			return nil, p.errf("unknown statement %q", t.text)
+		}
+	}
+}
+
+// DECOMPOSITION name(n)
+func (p *parser) parseDecomposition() (decl, error) {
+	d := decl{kind: declDecomposition, line: p.line()}
+	if err := p.keyword("DECOMPOSITION"); err != nil {
+		return d, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return d, err
+	}
+	d.name = name.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return d, err
+	}
+	num, err := p.expect(tokNumber)
+	if err != nil {
+		return d, err
+	}
+	n, err := strconv.Atoi(num.text)
+	if err != nil || n <= 0 {
+		return d, fmt.Errorf("fortd: line %d: bad decomposition size %q", num.line, num.text)
+	}
+	d.n = n
+	if _, err := p.expect(tokRParen); err != nil {
+		return d, err
+	}
+	return d, p.endOfStmt()
+}
+
+// DISTRIBUTE name(BLOCK) | DISTRIBUTE name(MAP)
+func (p *parser) parseDistribute() (decl, error) {
+	d := decl{kind: declDistribute, line: p.line()}
+	if err := p.keyword("DISTRIBUTE"); err != nil {
+		return d, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return d, err
+	}
+	d.name = name.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return d, err
+	}
+	kind, err := p.expect(tokIdent)
+	if err != nil {
+		return d, err
+	}
+	switch strings.ToUpper(kind.text) {
+	case "BLOCK":
+		d.dist = DistBlock
+	case "CYCLIC":
+		d.dist = DistCyclic
+	case "MAP":
+		d.dist = DistMap
+	default:
+		return d, fmt.Errorf("fortd: line %d: unsupported distribution %q (BLOCK, CYCLIC or MAP)", kind.line, kind.text)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return d, err
+	}
+	return d, p.endOfStmt()
+}
+
+// REAL a(dec[,width]) {, b(dec[,width])}
+func (p *parser) parseReal() ([]decl, error) {
+	if err := p.keyword("REAL"); err != nil {
+		return nil, err
+	}
+	var out []decl
+	for {
+		d := decl{kind: declReal, line: p.line(), width: 1}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d.name = name.text
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		dec, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d.decomp = dec.text
+		if p.peek().kind == tokComma {
+			p.next()
+			w, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			width, err := strconv.Atoi(w.text)
+			if err != nil || width <= 0 {
+				return nil, fmt.Errorf("fortd: line %d: bad width %q", w.line, w.text)
+			}
+			d.width = width
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	return out, p.endOfStmt()
+}
+
+// INDIRECTION name(dec) CSR | INDIRECTION name(dec) WIDTH k
+func (p *parser) parseIndirection() (decl, error) {
+	d := decl{kind: declIndirection, line: p.line(), width: 1}
+	if err := p.keyword("INDIRECTION"); err != nil {
+		return d, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return d, err
+	}
+	d.name = name.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return d, err
+	}
+	dec, err := p.expect(tokIdent)
+	if err != nil {
+		return d, err
+	}
+	d.decomp = dec.text
+	if _, err := p.expect(tokRParen); err != nil {
+		return d, err
+	}
+	form, err := p.expect(tokIdent)
+	if err != nil {
+		return d, err
+	}
+	switch strings.ToUpper(form.text) {
+	case "CSR":
+		d.csr = true
+	case "WIDTH":
+		w, err := p.expect(tokNumber)
+		if err != nil {
+			return d, err
+		}
+		width, err := strconv.Atoi(w.text)
+		if err != nil || width <= 0 {
+			return d, fmt.Errorf("fortd: line %d: bad width %q", w.line, w.text)
+		}
+		d.width = width
+	default:
+		return d, fmt.Errorf("fortd: line %d: indirection form must be CSR or WIDTH, found %q", form.line, form.text)
+	}
+	return d, p.endOfStmt()
+}
+
+// FORALL var IN iter ...
+func (p *parser) parseForall() (forall, error) {
+	f := forall{line: p.line()}
+	if err := p.keyword("FORALL"); err != nil {
+		return f, err
+	}
+	v, err := p.expect(tokIdent)
+	if err != nil {
+		return f, err
+	}
+	f.outerVar = v.text
+	if err := p.keyword("IN"); err != nil {
+		return f, err
+	}
+	dec, err := p.expect(tokIdent)
+	if err != nil {
+		return f, err
+	}
+	f.overDec = dec.text
+	if err := p.endOfStmt(); err != nil {
+		return f, err
+	}
+	p.skipNL()
+
+	if p.isKeyword("FORALL") {
+		// Sum-loop form: inner FORALL j IN ind(i).
+		p.next()
+		iv, err := p.expect(tokIdent)
+		if err != nil {
+			return f, err
+		}
+		f.innerVar = iv.text
+		if err := p.keyword("IN"); err != nil {
+			return f, err
+		}
+		ind, err := p.expect(tokIdent)
+		if err != nil {
+			return f, err
+		}
+		f.innerInd = ind.text
+		if _, err := p.expect(tokLParen); err != nil {
+			return f, err
+		}
+		ov, err := p.expect(tokIdent)
+		if err != nil {
+			return f, err
+		}
+		if ov.text != f.outerVar {
+			return f, fmt.Errorf("fortd: line %d: inner loop must range over %s(%s)", ov.line, f.innerInd, f.outerVar)
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return f, err
+		}
+		if err := p.endOfStmt(); err != nil {
+			return f, err
+		}
+		for {
+			p.skipNL()
+			if p.isKeyword("END") {
+				break
+			}
+			st, err := p.parseReduceSum(&f)
+			if err != nil {
+				return f, err
+			}
+			f.reduces = append(f.reduces, st)
+		}
+		if err := p.parseEndForall(); err != nil {
+			return f, err
+		}
+		p.skipNL()
+		if err := p.parseEndForall(); err != nil {
+			return f, err
+		}
+		if len(f.reduces) == 0 {
+			return f, fmt.Errorf("fortd: line %d: empty FORALL body", f.line)
+		}
+		return f, p.endOfStmtOrEOF()
+	}
+
+	// Single-level body: REDUCE(APPEND, ...) (Figure 9/11) or a list of
+	// REDUCE(SUM, ...) statements over flat indirections (Figure 2's
+	// bonded template).
+	if err := p.keyword("REDUCE"); err != nil {
+		return f, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return f, err
+	}
+	op, err := p.expect(tokIdent)
+	if err != nil {
+		return f, err
+	}
+	if strings.EqualFold(op.text, "SUM") {
+		f.isPair = true
+		st, err := p.parseReduceAfterOp(&f)
+		if err != nil {
+			return f, err
+		}
+		f.reduces = append(f.reduces, st)
+		for {
+			p.skipNL()
+			if p.isKeyword("END") {
+				break
+			}
+			st, err := p.parseReduceSum(&f)
+			if err != nil {
+				return f, err
+			}
+			f.reduces = append(f.reduces, st)
+		}
+		if err := p.parseEndForall(); err != nil {
+			return f, err
+		}
+		return f, p.endOfStmtOrEOF()
+	}
+	if !strings.EqualFold(op.text, "APPEND") {
+		return f, fmt.Errorf("fortd: line %d: top-level REDUCE must be SUM or APPEND, found %q", op.line, op.text)
+	}
+	f.isAppend = true
+	if _, err := p.expect(tokComma); err != nil {
+		return f, err
+	}
+	tgt, err := p.expect(tokIdent)
+	if err != nil {
+		return f, err
+	}
+	f.appendTarget = tgt.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return f, err
+	}
+	dst, err := p.expect(tokIdent)
+	if err != nil {
+		return f, err
+	}
+	f.appendDest = dst.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return f, err
+	}
+	if _, err := p.expect(tokIdent); err != nil {
+		return f, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return f, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return f, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return f, err
+	}
+	src, err := p.expect(tokIdent)
+	if err != nil {
+		return f, err
+	}
+	f.appendSrc = src.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return f, err
+	}
+	if _, err := p.expect(tokIdent); err != nil {
+		return f, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return f, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return f, err
+	}
+	if err := p.endOfStmt(); err != nil {
+		return f, err
+	}
+	p.skipNL()
+	if err := p.parseEndForall(); err != nil {
+		return f, err
+	}
+	return f, p.endOfStmtOrEOF()
+}
+
+func (p *parser) endOfStmtOrEOF() error {
+	if p.atEOF() {
+		return nil
+	}
+	return p.endOfStmt()
+}
+
+// END FORALL
+func (p *parser) parseEndForall() error {
+	if err := p.keyword("END"); err != nil {
+		return err
+	}
+	return p.keyword("FORALL")
+}
+
+// REDUCE(SUM, target, expr)
+func (p *parser) parseReduceSum(f *forall) (reduceStmt, error) {
+	if err := p.keyword("REDUCE"); err != nil {
+		return reduceStmt{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return reduceStmt{}, err
+	}
+	if err := p.keyword("SUM"); err != nil {
+		return reduceStmt{}, err
+	}
+	return p.parseReduceAfterOp(f)
+}
+
+// parseReduceAfterOp parses ", target, expr)" after REDUCE(SUM has been
+// consumed.
+func (p *parser) parseReduceAfterOp(f *forall) (reduceStmt, error) {
+	st := reduceStmt{line: p.line()}
+	if _, err := p.expect(tokComma); err != nil {
+		return st, err
+	}
+	tgt, err := p.parseRef(f)
+	if err != nil {
+		return st, err
+	}
+	st.target = tgt
+	if _, err := p.expect(tokComma); err != nil {
+		return st, err
+	}
+	e, err := p.parseExpr(f)
+	if err != nil {
+		return st, err
+	}
+	st.value = e
+	if _, err := p.expect(tokRParen); err != nil {
+		return st, err
+	}
+	return st, p.endOfStmt()
+}
+
+// parseRef parses array(subscript) where subscript is the outer loop
+// variable or ind(innerVar).
+func (p *parser) parseRef(f *forall) (refExpr, error) {
+	var r refExpr
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return r, err
+	}
+	r.array = name.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return r, err
+	}
+	first, err := p.expect(tokIdent)
+	if err != nil {
+		return r, err
+	}
+	r.sub.line = first.line
+	if p.peek().kind == tokLParen {
+		// ind(var)
+		p.next()
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return r, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return r, err
+		}
+		r.sub.Ind = first.text
+		r.sub.Var = v.text
+	} else {
+		r.sub.Var = first.text
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// Expression grammar: expr := term {(+|-) term}; term := factor {(*|/) factor};
+// factor := number | ref | (expr) | -factor.
+func (p *parser) parseExpr(f *forall) (expr, error) {
+	l, err := p.parseTerm(f)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokPlus:
+			p.next()
+			r, err := p.parseTerm(f)
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: '+', l: l, r: r}
+		case tokMinus:
+			p.next()
+			r, err := p.parseTerm(f)
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: '-', l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm(f *forall) (expr, error) {
+	l, err := p.parseFactor(f)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokStar:
+			p.next()
+			r, err := p.parseFactor(f)
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: '*', l: l, r: r}
+		case tokSlash:
+			p.next()
+			r, err := p.parseFactor(f)
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: '/', l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseFactor(f *forall) (expr, error) {
+	switch t := p.peek(); t.kind {
+	case tokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fortd: line %d: bad number %q", t.line, t.text)
+		}
+		return &numExpr{v: v}, nil
+	case tokMinus:
+		p.next()
+		e, err := p.parseFactor(f)
+		if err != nil {
+			return nil, err
+		}
+		return &negExpr{e: e}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseExpr(f)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		r, err := p.parseRef(f)
+		if err != nil {
+			return nil, err
+		}
+		return &r, nil
+	default:
+		return nil, p.errf("expected an expression, found %v %q", t.kind, t.text)
+	}
+}

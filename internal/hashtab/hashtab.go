@@ -1,0 +1,208 @@
+// Package hashtab implements the CHAOS inspector hash table (paper §3.2.2).
+//
+// Indirection arrays are hashed in with CHAOS_hash; each distinct global
+// index gets one entry recording its translated address (owner, offset), the
+// local buffer index assigned to it (the element's own offset if it is
+// on-processor, or a ghost slot past the local section if off-processor),
+// and a stamp bitmask identifying which indirection arrays referenced it.
+//
+// The table is the vehicle for the paper's two inspector optimizations:
+//
+//   - duplicate removal (software caching): each off-processor global is
+//     fetched once no matter how many times it is referenced;
+//   - index-analysis reuse: when an indirection array adapts, its stamp is
+//     cleared and the new contents rehashed; indices already present need
+//     only a probe and a stamp mark, not a translation-table dereference.
+package hashtab
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/ttable"
+)
+
+// Stamp is a bitmask identifying one or more indirection arrays. Stamps
+// combine with bitwise OR: a merged schedule over arrays a and b selects
+// entries matching a|b.
+type Stamp uint64
+
+// Modeled memory-operation counts per hash-table action. Index analysis is
+// expensive on the modeled machine (the paper calls this out explicitly in
+// §3.2.2): a probe walks the bucket chain and compares keys, an insertion
+// additionally allocates the entry and consults the translation table, and
+// stamping rewrites the entry.
+const (
+	probeMemOps  = 6
+	insertMemOps = 10
+	stampMemOps  = 2
+)
+
+// Entry is one hash-table record.
+type Entry struct {
+	Global int32
+	Owner  int32
+	Offset int32
+	// Local is the localized index: Offset when Owner is the calling
+	// processor, or nLocal+ghostSlot otherwise.
+	Local  int32
+	Stamps Stamp
+}
+
+// Table is a per-processor inspector hash table bound to one translation
+// table (one distribution). It is not safe for concurrent use.
+type Table struct {
+	p      *comm.Proc
+	tt     *ttable.Table
+	nLocal int
+
+	idx       map[int32]int32 // global -> index into entries
+	entries   []Entry
+	nGhosts   int
+	nextStamp uint
+
+	// Counters for ablation studies and tests.
+	probes       int64 // hash probes performed
+	translations int64 // dereferences that actually hit the translation table
+}
+
+// New creates an empty hash table for the distribution described by tt.
+func New(p *comm.Proc, tt *ttable.Table) *Table {
+	return &Table{
+		p:      p,
+		tt:     tt,
+		nLocal: tt.NLocal(p.Rank()),
+		idx:    make(map[int32]int32),
+	}
+}
+
+// NewStamp returns a fresh stamp bit. It panics after 64 stamps; use
+// ClearStamp and reuse stamps in adaptive codes, as the paper does for the
+// CHARMM non-bonded list.
+func (t *Table) NewStamp() Stamp {
+	if t.nextStamp >= 64 {
+		panic("hashtab: more than 64 live stamps; reuse stamps via ClearStamp")
+	}
+	s := Stamp(1) << t.nextStamp
+	t.nextStamp++
+	return s
+}
+
+// NLocal returns the size of the local data section.
+func (t *Table) NLocal() int { return t.nLocal }
+
+// NGhosts returns the number of ghost slots assigned so far. A data buffer
+// for an array under this table must have length NLocal()+NGhosts().
+func (t *Table) NGhosts() int { return t.nGhosts }
+
+// Len returns the number of distinct globals in the table.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Probes returns the cumulative number of hash probes (for ablations).
+func (t *Table) Probes() int64 { return t.probes }
+
+// Translations returns how many entries required a translation-table
+// dereference (i.e. were not already cached in the hash table).
+func (t *Table) Translations() int64 { return t.translations }
+
+// Hash enters the given global indices into the table (CHAOS_hash), marking
+// each with stamp, and returns the localized index for each input position.
+// Duplicate globals share one entry. For Distributed/Paged translation
+// tables this is a collective call, because unknown indices must be
+// dereferenced.
+func (t *Table) Hash(globals []int32, stamp Stamp) []int32 {
+	// Pass 1: probe; collect unknown globals (each once).
+	var unknown []int32
+	seen := map[int32]bool{}
+	for _, g := range globals {
+		if _, ok := t.idx[g]; !ok && !seen[g] {
+			seen[g] = true
+			unknown = append(unknown, g)
+		}
+	}
+	t.probes += int64(len(globals))
+	t.p.ComputeMem(probeMemOps * len(globals))
+
+	// Translate the unknowns and insert entries.
+	if len(unknown) > 0 || t.tt.Kind() != ttable.Replicated {
+		ents := t.tt.Dereference(t.p, unknown)
+		for i, g := range unknown {
+			e := Entry{Global: g, Owner: ents[i].Owner, Offset: ents[i].Offset}
+			if int(e.Owner) == t.p.Rank() {
+				e.Local = e.Offset
+			} else {
+				e.Local = int32(t.nLocal + t.nGhosts)
+				t.nGhosts++
+			}
+			t.idx[g] = int32(len(t.entries))
+			t.entries = append(t.entries, e)
+		}
+		t.translations += int64(len(unknown))
+		t.p.ComputeMem(insertMemOps * len(unknown))
+	}
+
+	// Pass 2: mark stamps and produce localized indices.
+	out := make([]int32, len(globals))
+	for i, g := range globals {
+		k := t.idx[g]
+		t.entries[k].Stamps |= stamp
+		out[i] = t.entries[k].Local
+	}
+	t.p.ComputeMem(stampMemOps * len(globals))
+	return out
+}
+
+// ClearStamp removes stamp from every entry. Entries whose stamp set becomes
+// empty are kept: their translation and ghost slot remain cached so that
+// rehashing a mostly unchanged indirection array is cheap (§3.2.2).
+func (t *Table) ClearStamp(stamp Stamp) {
+	for i := range t.entries {
+		t.entries[i].Stamps &^= stamp
+	}
+	t.p.ComputeMem(len(t.entries))
+}
+
+// Select returns the entries e with (e.Stamps & include) != 0 and
+// (e.Stamps & exclude) == 0, in insertion order (deterministic). Schedule
+// construction uses this to build regular (include = one stamp), merged
+// (include = union) and incremental (exclude = earlier stamps) schedules.
+func (t *Table) Select(include, exclude Stamp) []Entry {
+	if include == 0 {
+		panic("hashtab: Select with empty include mask")
+	}
+	var out []Entry
+	for _, e := range t.entries {
+		if e.Stamps&include != 0 && e.Stamps&exclude == 0 {
+			out = append(out, e)
+		}
+	}
+	t.p.ComputeMem(len(t.entries))
+	return out
+}
+
+// GhostGlobals returns the global index assigned to each ghost slot, in
+// slot order: GhostGlobals()[s] is the global stored at local index
+// NLocal()+s.
+func (t *Table) GhostGlobals() []int32 {
+	out := make([]int32, t.nGhosts)
+	for _, e := range t.entries {
+		if int(e.Owner) != t.p.Rank() {
+			out[int(e.Local)-t.nLocal] = e.Global
+		}
+	}
+	return out
+}
+
+// Lookup returns the entry for a global index, if present.
+func (t *Table) Lookup(g int32) (Entry, bool) {
+	k, ok := t.idx[g]
+	if !ok {
+		return Entry{}, false
+	}
+	return t.entries[k], true
+}
+
+// String summarizes the table for debugging.
+func (t *Table) String() string {
+	return fmt.Sprintf("hashtab{n=%d local=%d ghosts=%d}", len(t.entries), t.nLocal, t.nGhosts)
+}

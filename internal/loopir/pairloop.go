@@ -1,0 +1,133 @@
+package loopir
+
+import (
+	"fmt"
+
+	"repro/internal/hashtab"
+	"repro/internal/schedule"
+)
+
+// PairIterBody is a PairLoop body that also receives the local iteration
+// index k, so per-iteration parameters (e.g. bond rest lengths stored in an
+// aligned array) can be read alongside the pair values.
+type PairIterBody func(k int, xi, xj, fi, fj []float64)
+
+// PairLoop is the compiled form of the bonded-force template of Figure 2
+// (loop L2): iterations live on their own decomposition (the bond list),
+// and each iteration references a *different* data decomposition through
+// two flat indirection arrays,
+//
+//	FORALL k IN bonds
+//	  REDUCE(SUM, f(ib(k)), body(x(ib(k)), x(jb(k))))
+//	  REDUCE(SUM, f(jb(k)), ...)
+//	END FORALL
+//
+// Both indirection arrays hash into one table with separate stamps, and the
+// loop uses a single merged schedule (§3.2.1) — the exact pattern the paper
+// optimizes for CHARMM's bonded and non-bonded loops.
+type PairLoop struct {
+	prog   *Program
+	ia, ib *IndArray // flat, width 1, aligned with the iteration decomposition
+	x, f   *RealArray
+	body   PairIterBody
+	// flopsPerIter is the modeled arithmetic cost of one body invocation.
+	flopsPerIter int
+
+	ht           *hashtab.Table
+	sa, sb       hashtab.Stamp
+	la, lb       []int32
+	sched        *schedule.Schedule
+	iaSeen       int64
+	ibSeen       int64
+	dataDistSeen int64
+	iterDistSeen int64
+	inspections  int
+}
+
+// NewPairLoop compiles the two-indirection reduction loop. ia and ib must
+// be flat width-1 indirection arrays aligned with the same iteration
+// decomposition; their values index the decomposition x and f are aligned
+// with (which may differ from the iteration decomposition).
+func (pr *Program) NewPairLoop(ia, ib *IndArray, x, f *RealArray, flopsPerIter int, body PairIterBody) *PairLoop {
+	if ia.ptr != nil || ib.ptr != nil || ia.width != 1 || ib.width != 1 {
+		panic("loopir: PairLoop requires flat width-1 indirection arrays")
+	}
+	if ia.dec != ib.dec {
+		panic("loopir: PairLoop indirection arrays must share an iteration decomposition")
+	}
+	if x.dec != f.dec {
+		panic("loopir: PairLoop data arrays must share a decomposition")
+	}
+	if x.width != f.width {
+		panic(fmt.Sprintf("loopir: read width %d != reduce width %d", x.width, f.width))
+	}
+	return &PairLoop{
+		prog: pr, ia: ia, ib: ib, x: x, f: f,
+		body: body, flopsPerIter: flopsPerIter,
+		iaSeen: -1, ibSeen: -1, dataDistSeen: -1, iterDistSeen: -1,
+	}
+}
+
+// Inspections returns how many times the inspector actually ran.
+func (l *PairLoop) Inspections() int { return l.inspections }
+
+// Inspect runs the inspector if any recorded version is stale.
+func (l *PairLoop) Inspect() { l.maybeInspect() }
+
+func (l *PairLoop) maybeInspect() {
+	dataV := l.x.dec.version
+	iterV := l.ia.dec.version
+	if l.ht != nil && l.iaSeen == l.ia.version && l.ibSeen == l.ib.version &&
+		l.dataDistSeen == dataV && l.iterDistSeen == iterV {
+		return
+	}
+	if l.ht == nil || l.dataDistSeen != dataV || l.iterDistSeen != iterV {
+		// Data redistribution (or first run) invalidates translations.
+		l.ht = l.x.dec.dist.NewHashTable()
+		l.sa = l.ht.NewStamp()
+		l.sb = l.ht.NewStamp()
+	} else {
+		// One or both indirection arrays adapted: clear just their stamps;
+		// cached translations are reused.
+		l.ht.ClearStamp(l.sa)
+		l.ht.ClearStamp(l.sb)
+	}
+	l.la = l.ht.Hash(l.ia.vals, l.sa)
+	l.lb = l.ht.Hash(l.ib.vals, l.sb)
+	l.sched = schedule.Build(l.prog.P, l.ht, l.sa|l.sb, 0) // merged schedule
+	l.prog.P.ComputeMem(len(l.ia.vals) + len(l.ib.vals))
+	l.iaSeen = l.ia.version
+	l.ibSeen = l.ib.version
+	l.dataDistSeen = dataV
+	l.iterDistSeen = iterV
+	l.inspections++
+}
+
+// Execute runs the loop once: gather x ghosts, run the body per iteration,
+// scatter-add the contributions, accumulate into f. Collective.
+func (l *PairLoop) Execute() {
+	l.maybeInspect()
+	p := l.prog.P
+	w := l.x.width
+	nLocal := l.ht.NLocal()
+	nBuf := nLocal + l.ht.NGhosts()
+	p.ComputeMem(2 * l.ia.dec.NLocal())
+
+	xb := make([]float64, nBuf*w)
+	copy(xb, l.x.data)
+	schedule.GatherW(p, l.sched, xb, w)
+
+	fb := make([]float64, nBuf*w)
+	for k := 0; k < l.ia.dec.NLocal(); k++ {
+		i := int(l.la[k])
+		j := int(l.lb[k])
+		l.body(k, xb[i*w:(i+1)*w], xb[j*w:(j+1)*w], fb[i*w:(i+1)*w], fb[j*w:(j+1)*w])
+	}
+	p.ComputeFlops(l.flopsPerIter * l.ia.dec.NLocal())
+
+	schedule.ScatterW(p, l.sched, fb, w, schedule.OpAdd)
+	for i := 0; i < l.x.dec.NLocal()*w; i++ {
+		l.f.data[i] += fb[i]
+	}
+	p.ComputeMem(l.x.dec.NLocal() * w)
+}

@@ -1,0 +1,187 @@
+package loopir
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/partition"
+)
+
+// seqPairLoop is the sequential semantics of the Figure 2 bonded template:
+// f(ib(k)) += g(x(ib(k)), x(jb(k))); f(jb(k)) += -g(...).
+func seqPairLoop(nData int, ia, ib []int32, x []float64) []float64 {
+	f := make([]float64, nData)
+	for k := range ia {
+		i, j := ia[k], ib[k]
+		d := x[i] - x[j]
+		f[i] += d
+		f[j] -= d
+	}
+	return f
+}
+
+func bondBody(_ int, xi, xj, fi, fj []float64) {
+	for c := range xi {
+		d := xi[c] - xj[c]
+		fi[c] += d
+		fj[c] -= d
+	}
+}
+
+func TestPairLoopMatchesSequential(t *testing.T) {
+	const nData = 80
+	const nBonds = 150
+	rng := rand.New(rand.NewSource(6))
+	gia := make([]int32, nBonds)
+	gib := make([]int32, nBonds)
+	for k := range gia {
+		gia[k] = int32(rng.Intn(nData))
+		gib[k] = int32(rng.Intn(nData))
+	}
+	x0 := make([]float64, nData)
+	for i := range x0 {
+		x0[i] = rng.Float64()
+	}
+	want := seqPairLoop(nData, gia, gib, x0)
+
+	for _, nprocs := range []int{1, 2, 4} {
+		comm.Run(nprocs, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+			prog := NewProgram(p)
+			data := prog.Decomposition(nData)
+			bonds := prog.Decomposition(nBonds)
+			x := data.AlignReal(1)
+			f := data.AlignReal(1)
+			x.SetByGlobal(func(g int32, c []float64) { c[0] = x0[g] })
+			ia := bonds.AlignIndFlat(1)
+			ib := bonds.AlignIndFlat(1)
+			lo, hi := partition.BlockRange(p.Rank(), nBonds, p.Size())
+			ia.SetFlat(append([]int32(nil), gia[lo:hi]...))
+			ib.SetFlat(append([]int32(nil), gib[lo:hi]...))
+
+			loop := prog.NewPairLoop(ia, ib, x, f, 3, bondBody)
+			loop.Execute()
+			for i, g := range data.Globals() {
+				if math.Abs(f.Local()[i]-want[g]) > 1e-12 {
+					t.Errorf("nprocs=%d global %d: got %v want %v", nprocs, g, f.Local()[i], want[g])
+				}
+			}
+		})
+	}
+}
+
+func TestPairLoopInspectorReuse(t *testing.T) {
+	const nData = 30
+	const nBonds = 20
+	comm.Run(2, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		prog := NewProgram(p)
+		data := prog.Decomposition(nData)
+		bonds := prog.Decomposition(nBonds)
+		x := data.AlignReal(1)
+		f := data.AlignReal(1)
+		ia := bonds.AlignIndFlat(1)
+		ib := bonds.AlignIndFlat(1)
+		vals := make([]int32, bonds.NLocal())
+		for i, g := range bonds.Globals() {
+			vals[i] = g % nData
+		}
+		ia.SetFlat(vals)
+		ib.SetFlat(append([]int32(nil), vals...))
+		loop := prog.NewPairLoop(ia, ib, x, f, 3, bondBody)
+
+		loop.Execute()
+		loop.Execute()
+		if loop.Inspections() != 1 {
+			t.Errorf("inspections = %d after unchanged executes", loop.Inspections())
+		}
+		ib.SetFlat(append([]int32(nil), vals...))
+		loop.Execute()
+		if loop.Inspections() != 2 {
+			t.Errorf("inspections = %d after ib modification", loop.Inspections())
+		}
+		// Redistributing the data decomposition invalidates translations.
+		owners := make([]int32, data.NLocal())
+		for i, g := range data.Globals() {
+			owners[i] = (g + 1) % int32(p.Size())
+		}
+		data.Redistribute(owners)
+		loop.Execute()
+		if loop.Inspections() != 3 {
+			t.Errorf("inspections = %d after data redistribution", loop.Inspections())
+		}
+	})
+}
+
+func TestPairLoopAfterIterationRedistribute(t *testing.T) {
+	// Redistributing the *iteration* decomposition moves the indirection
+	// arrays with it; the loop must re-inspect and stay correct.
+	const nData = 40
+	const nBonds = 60
+	gia := make([]int32, nBonds)
+	gib := make([]int32, nBonds)
+	for k := range gia {
+		gia[k] = int32((k * 7) % nData)
+		gib[k] = int32((k*11 + 3) % nData)
+	}
+	x0 := make([]float64, nData)
+	for i := range x0 {
+		x0[i] = float64(i) * 0.5
+	}
+	want := seqPairLoop(nData, gia, gib, x0)
+	comm.Run(3, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		prog := NewProgram(p)
+		data := prog.Decomposition(nData)
+		bonds := prog.Decomposition(nBonds)
+		x := data.AlignReal(1)
+		f := data.AlignReal(1)
+		x.SetByGlobal(func(g int32, c []float64) { c[0] = x0[g] })
+		ia := bonds.AlignIndFlat(1)
+		ib := bonds.AlignIndFlat(1)
+		lo, hi := partition.BlockRange(p.Rank(), nBonds, p.Size())
+		ia.SetFlat(append([]int32(nil), gia[lo:hi]...))
+		ib.SetFlat(append([]int32(nil), gib[lo:hi]...))
+		loop := prog.NewPairLoop(ia, ib, x, f, 3, bondBody)
+
+		owners := make([]int32, bonds.NLocal())
+		for i, g := range bonds.Globals() {
+			owners[i] = (g * 5) % int32(p.Size())
+		}
+		bonds.Redistribute(owners)
+		loop.Execute()
+		for i, g := range data.Globals() {
+			if math.Abs(f.Local()[i]-want[g]) > 1e-12 {
+				t.Errorf("global %d: got %v want %v", g, f.Local()[i], want[g])
+			}
+		}
+	})
+}
+
+func TestPairLoopValidation(t *testing.T) {
+	comm.Run(1, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		prog := NewProgram(p)
+		d1 := prog.Decomposition(4)
+		d2 := prog.Decomposition(4)
+		x := d1.AlignReal(1)
+		f := d1.AlignReal(1)
+		csr := d2.AlignIndCSR()
+		flat := d2.AlignIndFlat(1)
+		other := d1.AlignIndFlat(1)
+		cases := []func(){
+			func() { prog.NewPairLoop(csr, flat, x, f, 1, bondBody) },   // CSR not allowed
+			func() { prog.NewPairLoop(flat, other, x, f, 1, bondBody) }, // different iter decs
+			func() { prog.NewPairLoop(flat, flat, x, d2.AlignReal(1), 1, bondBody) },
+		}
+		for i, fn := range cases {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("case %d did not panic", i)
+					}
+				}()
+				fn()
+			}()
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+)
+
+func TestGenerateStructure(t *testing.T) {
+	m := Generate(8, 6, 0.3, 1)
+	if m.NV != 9*7 {
+		t.Errorf("NV = %d", m.NV)
+	}
+	wantEdges := 6*8 + 7*8 + 9*6 - 8 + 48 // rough guide; compute exactly below
+	_ = wantEdges
+	// Exact: horizontals (ny+1)*nx + verticals (nx+1)*ny + diagonals nx*ny.
+	exact := 7*8 + 9*6 + 8*6
+	if m.NE() != exact {
+		t.Errorf("NE = %d, want %d", m.NE(), exact)
+	}
+	// All edges are within bounds, ordered, and distinct endpoints.
+	for k := range m.EI {
+		if m.EI[k] >= m.EJ[k] {
+			t.Fatalf("edge %d not ordered: %d,%d", k, m.EI[k], m.EJ[k])
+		}
+		if int(m.EJ[k]) >= m.NV {
+			t.Fatalf("edge %d out of range", k)
+		}
+	}
+	// Border vertices marked, interiors not.
+	if !m.Boundary[0] || !m.Boundary[m.NV-1] {
+		t.Error("corners not marked boundary")
+	}
+	interior := (9 - 2) * (7 - 2)
+	cnt := 0
+	for _, b := range m.Boundary {
+		if !b {
+			cnt++
+		}
+	}
+	if cnt != interior {
+		t.Errorf("interior count %d, want %d", cnt, interior)
+	}
+	// Deterministic.
+	m2 := Generate(8, 6, 0.3, 1)
+	for v := 0; v < m.NV; v++ {
+		if m.X[v] != m2.X[v] || m.Y[v] != m2.Y[v] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestRelaxConverges(t *testing.T) {
+	m := Generate(12, 12, 0.3, 3)
+	u := m.InitField()
+	r0 := m.Residual(u)
+	m.Relax(u, 200, 0.8)
+	r1 := m.Residual(u)
+	if r1 >= r0/100 {
+		t.Errorf("relaxation barely converged: %v -> %v", r0, r1)
+	}
+	// Boundary values untouched.
+	for v := 0; v < m.NV; v++ {
+		if m.Boundary[v] && u[v] != BoundaryValue(m.X[v], m.Y[v]) {
+			t.Fatalf("boundary vertex %d modified", v)
+		}
+	}
+	// Harmonic-function sanity: interior values bounded by boundary range.
+	min, max := math.Inf(1), math.Inf(-1)
+	for v := 0; v < m.NV; v++ {
+		if m.Boundary[v] {
+			if u[v] < min {
+				min = u[v]
+			}
+			if u[v] > max {
+				max = u[v]
+			}
+		}
+	}
+	for v := 0; v < m.NV; v++ {
+		if !m.Boundary[v] && (u[v] < min-1e-9 || u[v] > max+1e-9) {
+			t.Fatalf("interior vertex %d = %v outside boundary range [%v,%v]", v, u[v], min, max)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.NX, cfg.NY = 20, 16
+	cfg.Sweeps = 25
+	m := Generate(cfg.NX, cfg.NY, cfg.Jitter, cfg.Seed)
+	u := m.InitField()
+	m.Relax(u, cfg.Sweeps, cfg.Omega)
+	wantRes := m.Residual(u)
+	wantSum := 0.0
+	for _, v := range u {
+		wantSum += math.Abs(v)
+	}
+	wantSum /= float64(len(u))
+
+	for _, nprocs := range []int{1, 2, 4, 7} {
+		results := make([]*ProcResult, nprocs)
+		comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+			results[p.Rank()] = Run(p, cfg)
+		})
+		if math.Abs(results[0].Residual-wantRes) > 1e-9*(1+wantRes) {
+			t.Errorf("nprocs=%d residual %v, want %v", nprocs, results[0].Residual, wantRes)
+		}
+		if math.Abs(results[0].Checksum-wantSum) > 1e-9*wantSum {
+			t.Errorf("nprocs=%d checksum %v, want %v", nprocs, results[0].Checksum, wantSum)
+		}
+	}
+}
+
+func TestPartitionerLocalityReducesGhosts(t *testing.T) {
+	// The reason geometric partitioners exist: RCB's ghost footprint must
+	// be far below BLOCK's on a 2-D mesh (block slabs have long borders;
+	// the mesh vertex numbering is row-major so block is stripe-like but
+	// RCB yields compact patches).
+	cfg := DefaultRunConfig()
+	cfg.NX, cfg.NY = 40, 40
+	cfg.Sweeps = 1
+	ghosts := func(part string) int {
+		cfg := cfg
+		cfg.Partitioner = part
+		total := 0
+		results := make([]*ProcResult, 8)
+		comm.Run(8, costmodel.IPSC860(), func(p *comm.Proc) {
+			results[p.Rank()] = Run(p, cfg)
+		})
+		for _, r := range results {
+			total += r.GhostCount
+		}
+		return total
+	}
+	rcb := ghosts("rcb")
+	rib := ghosts("rib")
+	block := ghosts("block")
+	if rcb >= block {
+		t.Errorf("RCB ghosts %d not below BLOCK %d", rcb, block)
+	}
+	if rib >= block {
+		t.Errorf("RIB ghosts %d not below BLOCK %d", rib, block)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	m := Generate(2, 2, 0, 5)
+	deg := m.Degrees()
+	sum := 0
+	for _, d := range deg {
+		sum += d
+	}
+	if sum != 2*m.NE() {
+		t.Errorf("degree sum %d, want %d", sum, 2*m.NE())
+	}
+}
+
+func TestBadGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad grid did not panic")
+		}
+	}()
+	Generate(0, 5, 0, 1)
+}
+
+func TestUnknownPartitionerPanics(t *testing.T) {
+	comm.Run(1, costmodel.IPSC860(), func(p *comm.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown partitioner did not panic")
+			}
+		}()
+		cfg := DefaultRunConfig()
+		cfg.NX, cfg.NY = 4, 4
+		cfg.Partitioner = "voronoi"
+		Run(p, cfg)
+	})
+}

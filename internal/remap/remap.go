@@ -1,0 +1,326 @@
+// Package remap implements CHAOS data and iteration remapping (paper
+// phases B and D, §3.1).
+//
+// A Plan is the reusable product of the CHAOS `remap` procedure: an
+// optimized communication schedule for moving every element of an array
+// from its current (arbitrary) distribution to a newly computed irregular
+// distribution. Once built, a Plan moves any number of identically
+// distributed arrays (coordinates, velocities, weights, indirection
+// arrays, CSR-shaped structures) without further index analysis.
+//
+// The package also provides iteration partitioning under the
+// owner-computes and almost-owner-computes rules, and BlockMap, which
+// converts a partitioner's per-local-element owner assignment into the
+// block-distributed map array that translation-table construction expects.
+package remap
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/partition"
+	"repro/internal/ttable"
+)
+
+// Point-to-point tag for plan data movement.
+const tagRemap = 110
+
+// BlockMap routes (global, owner) pairs to the block home of each global
+// and returns this processor's slab of the resulting map array. globals
+// lists the globals this processor currently holds (in any order), owners
+// their newly assigned owners, and n the global array length. Collective.
+func BlockMap(p *comm.Proc, globals, owners []int32, n int) []int32 {
+	if len(globals) != len(owners) {
+		panic(fmt.Sprintf("remap: %d globals but %d owners", len(globals), len(owners)))
+	}
+	out := make([][]int32, p.Size())
+	for i, g := range globals {
+		home := partition.BlockOwner(int(g), n, p.Size())
+		out[home] = append(out[home], g, owners[i])
+	}
+	p.ComputeMem(len(globals))
+	bufs := make([][]byte, p.Size())
+	for r := range out {
+		bufs[r] = comm.EncodeI32(out[r])
+	}
+	lo, hi := partition.BlockRange(p.Rank(), n, p.Size())
+	slab := make([]int32, hi-lo)
+	filled := make([]bool, hi-lo)
+	for _, b := range p.AllToAll(bufs) {
+		recs := comm.DecodeI32(b)
+		for i := 0; i+1 < len(recs); i += 2 {
+			g := int(recs[i])
+			if g < lo || g >= hi {
+				panic(fmt.Sprintf("remap: global %d routed to wrong block [%d,%d)", g, lo, hi))
+			}
+			slab[g-lo] = recs[i+1]
+			filled[g-lo] = true
+		}
+	}
+	for i, ok := range filled {
+		if !ok {
+			panic(fmt.Sprintf("remap: no owner received for global %d", lo+i))
+		}
+	}
+	p.ComputeMem(hi - lo)
+	return slab
+}
+
+// Plan is a reusable remap schedule: it moves arrays laid out according to
+// the source distribution (this processor's `globals` in local order) into
+// the layout of a destination translation table.
+type Plan struct {
+	nprocs int
+	// sendIdx[r] lists local indices whose elements go to rank r.
+	sendIdx [][]int32
+	// placeOff[r] lists destination offsets for elements arriving from r.
+	placeOff [][]int32
+	// keepIdx/keepOff move elements that stay on this processor.
+	keepIdx []int32
+	keepOff []int32
+	// newLen is the local length under the destination distribution.
+	newLen int
+}
+
+// NewPlan builds a remap plan. globals[i] is the global index of this
+// processor's i-th local element under the current distribution; dst
+// describes the new distribution. Collective.
+func NewPlan(p *comm.Proc, globals []int32, dst *ttable.Table) *Plan {
+	ents := dst.Dereference(p, globals)
+	pl := &Plan{
+		nprocs:   p.Size(),
+		sendIdx:  make([][]int32, p.Size()),
+		placeOff: make([][]int32, p.Size()),
+		newLen:   dst.NLocal(p.Rank()),
+	}
+	// Route (destOffset) per destination; local stays in keep lists.
+	offOut := make([][]int32, p.Size())
+	for i, e := range ents {
+		if int(e.Owner) == p.Rank() {
+			pl.keepIdx = append(pl.keepIdx, int32(i))
+			pl.keepOff = append(pl.keepOff, e.Offset)
+			continue
+		}
+		pl.sendIdx[e.Owner] = append(pl.sendIdx[e.Owner], int32(i))
+		offOut[e.Owner] = append(offOut[e.Owner], e.Offset)
+	}
+	p.ComputeMem(len(globals))
+	bufs := make([][]byte, p.Size())
+	for r := range offOut {
+		bufs[r] = comm.EncodeI32(offOut[r])
+	}
+	for r, b := range p.AllToAll(bufs) {
+		if r == p.Rank() {
+			continue
+		}
+		pl.placeOff[r] = comm.DecodeI32(b)
+	}
+	return pl
+}
+
+// NewLen returns the local array length under the destination distribution.
+func (pl *Plan) NewLen() int { return pl.newLen }
+
+// MovedAway returns how many local elements leave this processor.
+func (pl *Plan) MovedAway() int {
+	n := 0
+	for _, s := range pl.sendIdx {
+		n += len(s)
+	}
+	return n
+}
+
+// MoveF64 relocates a float64 array (width components per element) from the
+// source layout to the destination layout. Collective.
+func (pl *Plan) MoveF64(p *comm.Proc, old []float64, width int) []float64 {
+	out := make([]float64, pl.newLen*width)
+	for k := range pl.keepIdx {
+		copy(out[int(pl.keepOff[k])*width:], old[int(pl.keepIdx[k])*width:int(pl.keepIdx[k]+1)*width])
+	}
+	p.ComputeMem(len(pl.keepIdx) * width)
+	for k := 1; k < p.Size(); k++ {
+		dst := (p.Rank() + k) % p.Size()
+		idx := pl.sendIdx[dst]
+		if len(idx) == 0 {
+			continue
+		}
+		buf := make([]float64, len(idx)*width)
+		for i, li := range idx {
+			copy(buf[i*width:], old[int(li)*width:int(li+1)*width])
+		}
+		p.ComputeMem(len(buf))
+		p.SendF64(dst, tagRemap, buf)
+	}
+	for k := 1; k < p.Size(); k++ {
+		src := (p.Rank() - k + p.Size()) % p.Size()
+		offs := pl.placeOff[src]
+		if len(offs) == 0 {
+			continue
+		}
+		vals := p.RecvF64(src, tagRemap)
+		if len(vals) != len(offs)*width {
+			panic(fmt.Sprintf("remap: from %d got %d values, want %d", src, len(vals), len(offs)*width))
+		}
+		for i, off := range offs {
+			copy(out[int(off)*width:], vals[i*width:(i+1)*width])
+		}
+		p.ComputeMem(len(vals))
+	}
+	return out
+}
+
+// MoveI32 relocates an int32 array (width components per element), e.g.
+// indirection arrays whose values are global indices and travel unchanged.
+// Collective.
+func (pl *Plan) MoveI32(p *comm.Proc, old []int32, width int) []int32 {
+	out := make([]int32, pl.newLen*width)
+	for k := range pl.keepIdx {
+		copy(out[int(pl.keepOff[k])*width:], old[int(pl.keepIdx[k])*width:int(pl.keepIdx[k]+1)*width])
+	}
+	p.ComputeMem(len(pl.keepIdx) * width)
+	for k := 1; k < p.Size(); k++ {
+		dst := (p.Rank() + k) % p.Size()
+		idx := pl.sendIdx[dst]
+		if len(idx) == 0 {
+			continue
+		}
+		buf := make([]int32, len(idx)*width)
+		for i, li := range idx {
+			copy(buf[i*width:], old[int(li)*width:int(li+1)*width])
+		}
+		p.ComputeMem(len(buf))
+		p.SendI32(dst, tagRemap, buf)
+	}
+	for k := 1; k < p.Size(); k++ {
+		src := (p.Rank() - k + p.Size()) % p.Size()
+		offs := pl.placeOff[src]
+		if len(offs) == 0 {
+			continue
+		}
+		vals := p.RecvI32(src, tagRemap)
+		if len(vals) != len(offs)*width {
+			panic(fmt.Sprintf("remap: from %d got %d values, want %d", src, len(vals), len(offs)*width))
+		}
+		for i, off := range offs {
+			copy(out[int(off)*width:], vals[i*width:(i+1)*width])
+		}
+		p.ComputeMem(len(vals))
+	}
+	return out
+}
+
+// MoveCSR relocates a CSR-shaped structure: element i of the source layout
+// owns the variable-length segment values[ptr[i]:ptr[i+1]]. The result is
+// the destination-layout (ptr, values) pair. Used to remap the CHARMM
+// non-bonded lists, where each atom carries its partner list. Collective.
+func (pl *Plan) MoveCSR(p *comm.Proc, ptr []int32, values []int32) ([]int32, []int32) {
+	segLen := func(i int32) int32 { return ptr[i+1] - ptr[i] }
+	// First move the segment lengths as a width-1 int array.
+	lens := make([]int32, len(ptr)-1)
+	for i := range lens {
+		lens[i] = segLen(int32(i))
+	}
+	newLens := pl.MoveI32(p, lens, 1)
+	newPtr := make([]int32, pl.newLen+1)
+	for i, l := range newLens {
+		newPtr[i+1] = newPtr[i] + l
+	}
+	p.ComputeMem(pl.newLen)
+
+	// Then move the segments themselves with per-destination packing.
+	newValues := make([]int32, newPtr[pl.newLen])
+	for k := range pl.keepIdx {
+		src := pl.keepIdx[k]
+		copy(newValues[newPtr[pl.keepOff[k]]:], values[ptr[src]:ptr[src+1]])
+	}
+	for k := 1; k < p.Size(); k++ {
+		dst := (p.Rank() + k) % p.Size()
+		idx := pl.sendIdx[dst]
+		if len(idx) == 0 {
+			continue
+		}
+		var buf []int32
+		for _, li := range idx {
+			buf = append(buf, values[ptr[li]:ptr[li+1]]...)
+		}
+		p.ComputeMem(len(buf))
+		p.SendI32(dst, tagRemap, buf)
+	}
+	for k := 1; k < p.Size(); k++ {
+		src := (p.Rank() - k + p.Size()) % p.Size()
+		offs := pl.placeOff[src]
+		if len(offs) == 0 {
+			continue
+		}
+		vals := p.RecvI32(src, tagRemap)
+		pos := 0
+		for _, off := range offs {
+			l := int(newLens[off])
+			copy(newValues[newPtr[off]:], vals[pos:pos+l])
+			pos += l
+		}
+		if pos != len(vals) {
+			panic(fmt.Sprintf("remap: CSR from %d got %d values, consumed %d", src, len(vals), pos))
+		}
+		p.ComputeMem(len(vals))
+	}
+	return newPtr, newValues
+}
+
+// Rule selects the iteration-partitioning heuristic.
+type Rule int
+
+// Iteration partitioning rules (paper §3.1).
+const (
+	// OwnerComputes assigns each iteration to the owner of its first
+	// (left-hand-side) reference.
+	OwnerComputes Rule = iota
+	// AlmostOwnerComputes assigns each iteration to the processor owning
+	// the majority of the data it references, ties to the lowest rank.
+	AlmostOwnerComputes
+)
+
+// IterationOwners partitions loop iterations. refs[i] lists the global data
+// indices referenced by this processor's i-th local iteration; dataTT is
+// the data distribution. Returns the processor assigned to each local
+// iteration. Collective for non-replicated tables.
+func IterationOwners(p *comm.Proc, refs [][]int32, dataTT *ttable.Table, rule Rule) []int32 {
+	// Flatten for one batch dereference.
+	var flat []int32
+	for _, r := range refs {
+		if len(r) == 0 {
+			panic("remap: iteration with no data references")
+		}
+		if rule == OwnerComputes {
+			flat = append(flat, r[0])
+		} else {
+			flat = append(flat, r...)
+		}
+	}
+	ents := dataTT.Dereference(p, flat)
+	out := make([]int32, len(refs))
+	pos := 0
+	votes := make([]int32, p.Size())
+	for i, r := range refs {
+		if rule == OwnerComputes {
+			out[i] = ents[pos].Owner
+			pos++
+			continue
+		}
+		for k := range votes {
+			votes[k] = 0
+		}
+		best := int32(0)
+		for range r {
+			o := ents[pos].Owner
+			votes[o]++
+			pos++
+			if votes[o] > votes[best] || (votes[o] == votes[best] && o < best) {
+				best = o
+			}
+		}
+		out[i] = best
+	}
+	p.ComputeMem(len(flat))
+	return out
+}

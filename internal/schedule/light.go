@@ -1,0 +1,167 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// LightSchedule is a light-weight communication schedule (paper §3.2.1):
+// only per-peer message sizes, no index translation, no permutation list.
+// It supports scatter_append, the data transportation primitive for
+// reduction-style movement where placement order does not matter (the
+// REDUCE(APPEND, ...) intrinsic of §5.2.1).
+type LightSchedule struct {
+	nprocs     int
+	self       int
+	SendCounts []int32
+	RecvCounts []int32
+}
+
+// BuildLight constructs a light-weight schedule from per-item destination
+// processors. Items destined to the calling processor are counted in
+// SendCounts[self] but never travel. Collective: a single counts exchange.
+func BuildLight(p *comm.Proc, dest []int32) *LightSchedule {
+	ls := &LightSchedule{
+		nprocs:     p.Size(),
+		self:       p.Rank(),
+		SendCounts: make([]int32, p.Size()),
+		RecvCounts: make([]int32, p.Size()),
+	}
+	for _, d := range dest {
+		if d < 0 || int(d) >= p.Size() {
+			panic(fmt.Sprintf("schedule: append destination %d out of range [0,%d)", d, p.Size()))
+		}
+		ls.SendCounts[d]++
+	}
+	p.ComputeMem(len(dest))
+	counts := p.AllToAll(perPeerCounts(p, ls.SendCounts))
+	for r, b := range counts {
+		if r == p.Rank() {
+			ls.RecvCounts[r] = ls.SendCounts[r]
+			continue
+		}
+		ls.RecvCounts[r] = comm.DecodeI32(b)[0]
+	}
+	return ls
+}
+
+// perPeerCounts packs one count per destination for the alltoall exchange.
+func perPeerCounts(p *comm.Proc, counts []int32) [][]byte {
+	bufs := make([][]byte, p.Size())
+	for r := range bufs {
+		if r == p.Rank() {
+			continue
+		}
+		bufs[r] = comm.EncodeI32([]int32{counts[r]})
+	}
+	return bufs
+}
+
+// TotalRecv returns the number of items this processor will receive or keep
+// during MoveF64 (including its own).
+func (ls *LightSchedule) TotalRecv() int {
+	n := 0
+	for _, c := range ls.RecvCounts {
+		n += int(c)
+	}
+	return n
+}
+
+// TotalSend returns the number of items actually leaving this processor
+// (destinations other than itself).
+func (ls *LightSchedule) TotalSend() int {
+	n := 0
+	for r, c := range ls.SendCounts {
+		if r != ls.self {
+			n += int(c)
+		}
+	}
+	return n
+}
+
+// MoveI32 is MoveF64 for int32 payloads. When MoveF64 and MoveI32 are
+// called with the same dest slice, received items correspond position-wise
+// across the two calls (both pack and append in identical order), so an
+// item's components may be split across one int and one float move.
+func (ls *LightSchedule) MoveI32(p *comm.Proc, dest []int32, items []int32, width int) []int32 {
+	if len(items) != len(dest)*width {
+		panic(fmt.Sprintf("schedule: MoveI32 with %d values for %d items of width %d", len(items), len(dest), width))
+	}
+	packed := make([][]int32, p.Size())
+	for r := range packed {
+		if ls.SendCounts[r] > 0 {
+			packed[r] = make([]int32, 0, int(ls.SendCounts[r])*width)
+		}
+	}
+	for i, d := range dest {
+		packed[d] = append(packed[d], items[i*width:(i+1)*width]...)
+	}
+	p.ComputeMem(len(items))
+
+	out := make([]int32, 0, ls.TotalRecv()*width)
+	out = append(out, packed[p.Rank()]...)
+	for k := 1; k < p.Size(); k++ {
+		dst := (p.Rank() + k) % p.Size()
+		if len(packed[dst]) > 0 {
+			p.SendI32(dst, tagAppend, packed[dst])
+		}
+	}
+	for k := 1; k < p.Size(); k++ {
+		src := (p.Rank() - k + p.Size()) % p.Size()
+		if ls.RecvCounts[src] == 0 || src == p.Rank() {
+			continue
+		}
+		vals := p.RecvI32(src, tagAppend)
+		if len(vals) != int(ls.RecvCounts[src])*width {
+			panic(fmt.Sprintf("schedule: append from %d delivered %d values, want %d", src, len(vals), int(ls.RecvCounts[src])*width))
+		}
+		out = append(out, vals...)
+	}
+	p.ComputeMem(ls.TotalRecv() * width)
+	return out
+}
+
+// MoveF64 performs scatter_append: item i (the width float64 values
+// items[i*width:(i+1)*width]) is delivered to processor dest[i] and appended
+// to its result in arrival order (own items first, then by increasing rank
+// distance). dest must be the same slice contents used for BuildLight.
+// Collective. The result has ls.TotalRecv() items.
+func (ls *LightSchedule) MoveF64(p *comm.Proc, dest []int32, items []float64, width int) []float64 {
+	if len(items) != len(dest)*width {
+		panic(fmt.Sprintf("schedule: MoveF64 with %d values for %d items of width %d", len(items), len(dest), width))
+	}
+	// Pack per destination.
+	packed := make([][]float64, p.Size())
+	for r := range packed {
+		if ls.SendCounts[r] > 0 {
+			packed[r] = make([]float64, 0, int(ls.SendCounts[r])*width)
+		}
+	}
+	for i, d := range dest {
+		packed[d] = append(packed[d], items[i*width:(i+1)*width]...)
+	}
+	p.ComputeMem(len(items))
+
+	out := make([]float64, 0, ls.TotalRecv()*width)
+	out = append(out, packed[p.Rank()]...) // keep own items, in order
+	for k := 1; k < p.Size(); k++ {
+		dst := (p.Rank() + k) % p.Size()
+		if len(packed[dst]) > 0 {
+			p.SendF64(dst, tagAppend, packed[dst])
+		}
+	}
+	for k := 1; k < p.Size(); k++ {
+		src := (p.Rank() - k + p.Size()) % p.Size()
+		if ls.RecvCounts[src] == 0 || src == p.Rank() {
+			continue
+		}
+		vals := p.RecvF64(src, tagAppend)
+		if len(vals) != int(ls.RecvCounts[src])*width {
+			panic(fmt.Sprintf("schedule: append from %d delivered %d values, want %d", src, len(vals), int(ls.RecvCounts[src])*width))
+		}
+		out = append(out, vals...)
+	}
+	p.ComputeMem(ls.TotalRecv() * width)
+	return out
+}

@@ -1,0 +1,295 @@
+// Package schedule implements CHAOS communication schedules (paper §3.2.1)
+// and the data transportation primitives that use them.
+//
+// A schedule for processor p records:
+//   - send list: local offsets of elements p must send to each processor;
+//   - permutation list: for each source, the local buffer slots where
+//     incoming off-processor elements are placed;
+//   - send/fetch sizes: message sizes per peer.
+//
+// Schedules are built from a stamped inspector hash table: Build(ht, include,
+// exclude) constructs a regular schedule (include = one stamp), a merged
+// schedule (include = union of stamps) or an incremental schedule
+// (exclude = stamps of earlier schedules whose data is already resident),
+// mirroring CHAOS_schedule in Figure 6 of the paper.
+//
+// Light-weight schedules (LightSchedule) support reduction-style movement
+// where placement order is irrelevant (scatter_append): they carry only
+// message sizes, skipping index translation and permutation lists entirely.
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/hashtab"
+)
+
+// Point-to-point tags used by the transport primitives. They stay below the
+// collective tag space reserved by package comm.
+const (
+	tagGather  = 101
+	tagScatter = 102
+	tagAppend  = 103
+)
+
+// Schedule is a regular communication schedule. All slices are indexed by
+// peer rank.
+type Schedule struct {
+	nprocs int
+	// SendOff[r] lists local offsets (into the owned section) of elements
+	// this processor must send to r during Gather (and receive-combine
+	// during Scatter*).
+	SendOff [][]int32
+	// RecvSlot[r] is the permutation list: local buffer slots (>= nLocal,
+	// in the ghost section) where elements arriving from r are placed.
+	RecvSlot [][]int32
+	// minLen is 1 + the largest local index referenced, for buffer checks.
+	minLen int
+}
+
+// NProcs returns the number of processors the schedule spans.
+func (s *Schedule) NProcs() int { return s.nprocs }
+
+// SendSize returns the number of elements sent to rank r (the paper's
+// send_size array).
+func (s *Schedule) SendSize(r int) int { return len(s.SendOff[r]) }
+
+// FetchSize returns the number of elements fetched from rank r (the paper's
+// fetch_size array).
+func (s *Schedule) FetchSize(r int) int { return len(s.RecvSlot[r]) }
+
+// TotalFetch returns the total number of off-processor elements this
+// schedule gathers.
+func (s *Schedule) TotalFetch() int {
+	n := 0
+	for _, v := range s.RecvSlot {
+		n += len(v)
+	}
+	return n
+}
+
+// TotalSend returns the total number of elements this schedule sends.
+func (s *Schedule) TotalSend() int {
+	n := 0
+	for _, v := range s.SendOff {
+		n += len(v)
+	}
+	return n
+}
+
+// MinLen returns the minimum local buffer length (owned section + ghost
+// section) a data array must have to be used with this schedule.
+func (s *Schedule) MinLen() int { return s.minLen }
+
+// Build constructs a communication schedule from the hash-table entries
+// selected by (include, exclude), as CHAOS_schedule does. It is a collective
+// call: every processor must invoke it with the same stamp combination.
+//
+// The returned schedule gathers/scatters exactly the off-processor elements
+// whose stamps match; on-processor entries need no communication and are
+// skipped.
+func Build(p *comm.Proc, ht *hashtab.Table, include, exclude hashtab.Stamp) *Schedule {
+	s := &Schedule{
+		nprocs:   p.Size(),
+		SendOff:  make([][]int32, p.Size()),
+		RecvSlot: make([][]int32, p.Size()),
+		minLen:   ht.NLocal(),
+	}
+
+	// Request lists per owner: the owner-local offsets we need, and the
+	// ghost slots they map to here.
+	reqOff := make([][]int32, p.Size())
+	for _, e := range ht.Select(include, exclude) {
+		if int(e.Owner) == p.Rank() {
+			continue
+		}
+		reqOff[e.Owner] = append(reqOff[e.Owner], e.Offset)
+		s.RecvSlot[e.Owner] = append(s.RecvSlot[e.Owner], e.Local)
+		if int(e.Local)+1 > s.minLen {
+			s.minLen = int(e.Local) + 1
+		}
+	}
+
+	// Exchange requests; what arrives from r is my send list to r.
+	bufs := make([][]byte, p.Size())
+	for r := range reqOff {
+		bufs[r] = comm.EncodeI32(reqOff[r])
+	}
+	for r, b := range p.AllToAll(bufs) {
+		if r == p.Rank() {
+			continue
+		}
+		s.SendOff[r] = comm.DecodeI32(b)
+	}
+	p.ComputeMem(s.TotalSend() + s.TotalFetch())
+	return s
+}
+
+// FromTranslated builds a schedule directly from already-translated
+// references: reference k lives on owners[k] at local offset offsets[k].
+// References must be distinct (no duplicate removal is performed — callers
+// with possibly-duplicated references should go through a hash table).
+// Returns the schedule plus the localized index of each reference
+// (its offset if owned, or nLocal+ghostSlot). Collective.
+//
+// This is the index-translation path the paper's "regular schedules" row in
+// Table 4 pays on every DSMC time step: a full schedule with permutation
+// lists is constructed for a data access pattern that changes each step.
+func FromTranslated(p *comm.Proc, nLocal int, owners, offsets []int32) (*Schedule, []int32) {
+	if len(owners) != len(offsets) {
+		panic(fmt.Sprintf("schedule: %d owners but %d offsets", len(owners), len(offsets)))
+	}
+	s := &Schedule{
+		nprocs:   p.Size(),
+		SendOff:  make([][]int32, p.Size()),
+		RecvSlot: make([][]int32, p.Size()),
+		minLen:   nLocal,
+	}
+	loc := make([]int32, len(owners))
+	reqOff := make([][]int32, p.Size())
+	ghost := 0
+	for k, o := range owners {
+		if int(o) == p.Rank() {
+			loc[k] = offsets[k]
+			continue
+		}
+		slot := int32(nLocal + ghost)
+		ghost++
+		loc[k] = slot
+		reqOff[o] = append(reqOff[o], offsets[k])
+		s.RecvSlot[o] = append(s.RecvSlot[o], slot)
+	}
+	s.minLen = nLocal + ghost
+	p.ComputeMem(len(owners))
+
+	bufs := make([][]byte, p.Size())
+	for r := range reqOff {
+		bufs[r] = comm.EncodeI32(reqOff[r])
+	}
+	for r, b := range p.AllToAll(bufs) {
+		if r == p.Rank() {
+			continue
+		}
+		s.SendOff[r] = comm.DecodeI32(b)
+	}
+	p.ComputeMem(s.TotalSend())
+	return s, loc
+}
+
+// checkLen panics if data is too short for the schedule.
+func (s *Schedule) checkLen(n, width int) {
+	if n < s.minLen*width {
+		panic(fmt.Sprintf("schedule: buffer of %d elements too short, need %d (width %d)", n, s.minLen*width, width))
+	}
+}
+
+// Gather fetches the off-processor elements named by the schedule into the
+// ghost section of data: after the call, data[slot] holds the owner's value
+// for every slot in the permutation lists. The owned section is read, the
+// ghost section written. Collective.
+func Gather(p *comm.Proc, s *Schedule, data []float64) {
+	GatherW(p, s, data, 1)
+}
+
+// GatherW is Gather for arrays with `width` float64 components per element
+// (stored row-major: element i occupies data[i*width : (i+1)*width]).
+func GatherW(p *comm.Proc, s *Schedule, data []float64, width int) {
+	s.checkLen(len(data), width)
+	for k := 1; k < p.Size(); k++ {
+		dst := (p.Rank() + k) % p.Size()
+		offs := s.SendOff[dst]
+		if len(offs) == 0 {
+			continue
+		}
+		buf := make([]float64, len(offs)*width)
+		for i, off := range offs {
+			copy(buf[i*width:], data[int(off)*width:int(off+1)*width])
+		}
+		p.ComputeMem(len(buf))
+		p.SendF64(dst, tagGather, buf)
+	}
+	for k := 1; k < p.Size(); k++ {
+		src := (p.Rank() - k + p.Size()) % p.Size()
+		slots := s.RecvSlot[src]
+		if len(slots) == 0 {
+			continue
+		}
+		vals := p.RecvF64(src, tagGather)
+		if len(vals) != len(slots)*width {
+			panic(fmt.Sprintf("schedule: gather from %d delivered %d values, want %d", src, len(vals), len(slots)*width))
+		}
+		for i, slot := range slots {
+			copy(data[int(slot)*width:int(slot+1)*width], vals[i*width:(i+1)*width])
+		}
+		p.ComputeMem(len(vals))
+	}
+}
+
+// CombineOp selects how Scatter combines incoming values with resident ones.
+type CombineOp int
+
+// Scatter combine operations.
+const (
+	OpReplace CombineOp = iota
+	OpAdd
+	OpMax
+)
+
+// Scatter pushes ghost-section values back to their owners, combining with
+// op at the destination (the reverse of Gather). With OpAdd this implements
+// the irregular reduction x(ia(i)) = x(ia(i)) + ... across processors.
+// Collective.
+func Scatter(p *comm.Proc, s *Schedule, data []float64, op CombineOp) {
+	ScatterW(p, s, data, 1, op)
+}
+
+// ScatterW is Scatter for width-component elements.
+func ScatterW(p *comm.Proc, s *Schedule, data []float64, width int, op CombineOp) {
+	s.checkLen(len(data), width)
+	for k := 1; k < p.Size(); k++ {
+		dst := (p.Rank() + k) % p.Size()
+		slots := s.RecvSlot[dst]
+		if len(slots) == 0 {
+			continue
+		}
+		buf := make([]float64, len(slots)*width)
+		for i, slot := range slots {
+			copy(buf[i*width:], data[int(slot)*width:int(slot+1)*width])
+		}
+		p.ComputeMem(len(buf))
+		p.SendF64(dst, tagScatter, buf)
+	}
+	for k := 1; k < p.Size(); k++ {
+		src := (p.Rank() - k + p.Size()) % p.Size()
+		offs := s.SendOff[src]
+		if len(offs) == 0 {
+			continue
+		}
+		vals := p.RecvF64(src, tagScatter)
+		if len(vals) != len(offs)*width {
+			panic(fmt.Sprintf("schedule: scatter from %d delivered %d values, want %d", src, len(vals), len(offs)*width))
+		}
+		for i, off := range offs {
+			dst := data[int(off)*width : int(off+1)*width]
+			src := vals[i*width : (i+1)*width]
+			switch op {
+			case OpReplace:
+				copy(dst, src)
+			case OpAdd:
+				for j := range dst {
+					dst[j] += src[j]
+				}
+			case OpMax:
+				for j := range dst {
+					if src[j] > dst[j] {
+						dst[j] = src[j]
+					}
+				}
+			default:
+				panic("schedule: unknown combine op")
+			}
+		}
+		p.ComputeMem(len(vals))
+	}
+}

@@ -1,0 +1,421 @@
+package schedule
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/hashtab"
+	"repro/internal/ttable"
+)
+
+// buildEnv builds a replicated translation table for n globals with the
+// given owner map and returns it with a fresh hash table.
+func buildEnv(p *comm.Proc, owners []int32) (*ttable.Table, *hashtab.Table) {
+	n := len(owners)
+	lo := p.Rank() * n / p.Size()
+	hi := (p.Rank() + 1) * n / p.Size()
+	tt := ttable.Build(p, ttable.Replicated, owners[lo:hi])
+	return tt, hashtab.New(p, tt)
+}
+
+// localValue defines the test data: element with global index g holds
+// 1000 + g.
+func fillLocal(p *comm.Proc, tt *ttable.Table, owners []int32, data []float64) {
+	for g, o := range owners {
+		if int(o) == p.Rank() {
+			data[tt.OffsetOf(g)] = 1000 + float64(g)
+		}
+	}
+}
+
+func TestGatherDeliversOwnersValues(t *testing.T) {
+	for _, nprocs := range []int{2, 3, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(nprocs)))
+		n := 200
+		owners := make([]int32, n)
+		for i := range owners {
+			owners[i] = int32(rng.Intn(nprocs))
+		}
+		refs := make([]int32, 150)
+		for i := range refs {
+			refs[i] = int32(rng.Intn(n))
+		}
+		comm.Run(nprocs, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+			tt, ht := buildEnv(p, owners)
+			st := ht.NewStamp()
+			loc := ht.Hash(refs, st)
+			sched := Build(p, ht, st, 0)
+			data := make([]float64, sched.MinLen())
+			fillLocal(p, tt, owners, data)
+			Gather(p, sched, data)
+			for k, g := range refs {
+				if got := data[loc[k]]; got != 1000+float64(g) {
+					t.Errorf("nprocs=%d rank=%d ref %d (g=%d): got %v", nprocs, p.Rank(), k, g, got)
+				}
+			}
+		})
+	}
+}
+
+func TestScatterAddMatchesSequential(t *testing.T) {
+	// Each processor owns a block; every processor adds a contribution to a
+	// random set of globals; the result must equal the sequential sum.
+	const n = 120
+	const nprocs = 4
+	rng := rand.New(rand.NewSource(7))
+	owners := make([]int32, n)
+	for i := range owners {
+		owners[i] = int32(rng.Intn(nprocs))
+	}
+	// refs per rank and expected totals.
+	refs := make([][]int32, nprocs)
+	want := make([]float64, n)
+	for r := 0; r < nprocs; r++ {
+		refs[r] = make([]int32, 80)
+		for i := range refs[r] {
+			g := rng.Intn(n)
+			refs[r][i] = int32(g)
+			want[g] += float64(r + 1)
+		}
+	}
+	comm.Run(nprocs, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		tt, ht := buildEnv(p, owners)
+		st := ht.NewStamp()
+		loc := ht.Hash(refs[p.Rank()], st)
+		sched := Build(p, ht, st, 0)
+		data := make([]float64, sched.MinLen())
+		// Accumulate contributions locally (ghost slots start at zero).
+		for _, l := range loc {
+			data[l] += float64(p.Rank() + 1)
+		}
+		Scatter(p, sched, data, OpAdd)
+		for g, o := range owners {
+			if int(o) == p.Rank() {
+				if got := data[tt.OffsetOf(g)]; got != want[g] {
+					t.Errorf("rank %d global %d: got %v want %v", p.Rank(), g, got, want[g])
+				}
+			}
+		}
+	})
+}
+
+func TestScatterReplaceAndMax(t *testing.T) {
+	const n = 16
+	owners := make([]int32, n) // all owned by rank 0
+	comm.Run(2, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		tt, ht := buildEnv(p, owners)
+		_ = tt
+		st := ht.NewStamp()
+		var sched *Schedule
+		if p.Rank() == 1 {
+			loc := ht.Hash([]int32{3}, st)
+			sched = Build(p, ht, st, 0)
+			data := make([]float64, sched.MinLen())
+			data[loc[0]] = 55
+			Scatter(p, sched, data, OpReplace)
+			data[loc[0]] = 11 // lower than resident: OpMax must keep 55
+			Scatter(p, sched, data, OpMax)
+		} else {
+			ht.Hash(nil, st)
+			sched = Build(p, ht, st, 0)
+			data := make([]float64, 16)
+			Scatter(p, sched, data, OpReplace)
+			if data[3] != 55 {
+				t.Errorf("after replace, data[3] = %v", data[3])
+			}
+			Scatter(p, sched, data, OpMax)
+			if data[3] != 55 {
+				t.Errorf("after max, data[3] = %v", data[3])
+			}
+		}
+	})
+}
+
+func TestGatherWide(t *testing.T) {
+	const n = 40
+	const width = 3
+	owners := make([]int32, n)
+	for i := range owners {
+		owners[i] = int32(i % 2)
+	}
+	comm.Run(2, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		tt, ht := buildEnv(p, owners)
+		st := ht.NewStamp()
+		refs := []int32{0, 1, 2, 3, 38, 39}
+		loc := ht.Hash(refs, st)
+		sched := Build(p, ht, st, 0)
+		data := make([]float64, sched.MinLen()*width)
+		for g, o := range owners {
+			if int(o) == p.Rank() {
+				off := int(tt.OffsetOf(g))
+				for c := 0; c < width; c++ {
+					data[off*width+c] = float64(g*10 + c)
+				}
+			}
+		}
+		GatherW(p, sched, data, width)
+		for k, g := range refs {
+			for c := 0; c < width; c++ {
+				if got := data[int(loc[k])*width+c]; got != float64(int(g)*10+c) {
+					t.Errorf("rank %d g=%d comp %d: got %v", p.Rank(), g, c, got)
+				}
+			}
+		}
+	})
+}
+
+func TestIncrementalScheduleFetchesOnlyNew(t *testing.T) {
+	const n = 100
+	owners := make([]int32, n) // all on rank 0
+	comm.Run(2, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		_, ht := buildEnv(p, owners)
+		a := ht.NewStamp()
+		b := ht.NewStamp()
+		if p.Rank() == 1 {
+			ht.Hash([]int32{1, 2, 3, 4}, a)
+			ht.Hash([]int32{3, 4, 5, 6}, b)
+		}
+		schedA := Build(p, ht, a, 0)
+		incB := Build(p, ht, b, a)
+		if p.Rank() == 1 {
+			if schedA.TotalFetch() != 4 {
+				t.Errorf("schedA fetches %d, want 4", schedA.TotalFetch())
+			}
+			if incB.TotalFetch() != 2 { // only 5 and 6 are new
+				t.Errorf("incB fetches %d, want 2", incB.TotalFetch())
+			}
+		}
+	})
+}
+
+func TestMergedScheduleEqualsUnion(t *testing.T) {
+	const n = 60
+	rng := rand.New(rand.NewSource(3))
+	owners := make([]int32, n)
+	for i := range owners {
+		owners[i] = int32(rng.Intn(4))
+	}
+	refsA := make([]int32, 30)
+	refsB := make([]int32, 30)
+	for i := range refsA {
+		refsA[i] = int32(rng.Intn(n))
+		refsB[i] = int32(rng.Intn(n))
+	}
+	comm.Run(4, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		_, ht := buildEnv(p, owners)
+		a := ht.NewStamp()
+		b := ht.NewStamp()
+		ht.Hash(refsA, a)
+		ht.Hash(refsB, b)
+		merged := Build(p, ht, a|b, 0)
+		// The union of distinct off-processor globals referenced.
+		uniq := map[int32]bool{}
+		for _, g := range append(append([]int32{}, refsA...), refsB...) {
+			if int(owners[g]) != p.Rank() {
+				uniq[g] = true
+			}
+		}
+		if merged.TotalFetch() != len(uniq) {
+			t.Errorf("rank %d: merged fetch %d, want %d", p.Rank(), merged.TotalFetch(), len(uniq))
+		}
+	})
+}
+
+func TestScheduleSizes(t *testing.T) {
+	owners := []int32{0, 0, 1, 1}
+	comm.Run(2, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		_, ht := buildEnv(p, owners)
+		st := ht.NewStamp()
+		if p.Rank() == 0 {
+			ht.Hash([]int32{2, 3}, st)
+		} else {
+			ht.Hash(nil, st)
+		}
+		sched := Build(p, ht, st, 0)
+		if p.Rank() == 0 {
+			if sched.FetchSize(1) != 2 || sched.SendSize(1) != 0 {
+				t.Errorf("rank 0 sizes: fetch=%d send=%d", sched.FetchSize(1), sched.SendSize(1))
+			}
+		} else {
+			if sched.SendSize(0) != 2 || sched.FetchSize(0) != 0 {
+				t.Errorf("rank 1 sizes: send=%d fetch=%d", sched.SendSize(0), sched.FetchSize(0))
+			}
+		}
+	})
+}
+
+func TestGatherShortBufferPanics(t *testing.T) {
+	owners := []int32{0, 1}
+	comm.Run(2, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		_, ht := buildEnv(p, owners)
+		st := ht.NewStamp()
+		ht.Hash([]int32{0, 1}, st)
+		sched := Build(p, ht, st, 0)
+		defer func() {
+			if recover() == nil {
+				t.Error("gather with short buffer did not panic")
+			}
+		}()
+		Gather(p, sched, make([]float64, 0))
+	})
+}
+
+// ---- Light-weight schedules ----
+
+func TestScatterAppendPreservesMultiset(t *testing.T) {
+	for _, nprocs := range []int{2, 3, 5} {
+		rng := rand.New(rand.NewSource(int64(nprocs) * 11))
+		// Each rank sends items tagged with (rank, seq) to random dests.
+		perRank := 40
+		dests := make([][]int32, nprocs)
+		for r := range dests {
+			dests[r] = make([]int32, perRank)
+			for i := range dests[r] {
+				dests[r][i] = int32(rng.Intn(nprocs))
+			}
+		}
+		var mu sortedCollector
+		comm.Run(nprocs, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+			dest := dests[p.Rank()]
+			items := make([]float64, perRank*2)
+			for i := 0; i < perRank; i++ {
+				items[2*i] = float64(p.Rank()*1000 + i)
+				items[2*i+1] = float64(dest[i])
+			}
+			ls := BuildLight(p, dest)
+			got := ls.MoveF64(p, dest, items, 2)
+			if len(got) != ls.TotalRecv()*2 {
+				t.Errorf("nprocs=%d rank=%d: got %d values, want %d", nprocs, p.Rank(), len(got), ls.TotalRecv()*2)
+			}
+			for i := 0; i*2 < len(got); i++ {
+				if int32(got[2*i+1]) != int32(p.Rank()) {
+					t.Errorf("nprocs=%d rank=%d received item destined to %v", nprocs, p.Rank(), got[2*i+1])
+				}
+				mu.add(got[2*i])
+			}
+		})
+		// Every item sent must arrive exactly once.
+		var want []float64
+		for r := 0; r < nprocs; r++ {
+			for i := 0; i < perRank; i++ {
+				want = append(want, float64(r*1000+i))
+			}
+		}
+		sort.Float64s(want)
+		got := mu.sorted()
+		if len(got) != len(want) {
+			t.Fatalf("nprocs=%d: %d items arrived, want %d", nprocs, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("nprocs=%d: multiset differs at %d: got %v want %v", nprocs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// sortedCollector accumulates values from concurrent rank goroutines.
+type sortedCollector struct {
+	mu   sync.Mutex
+	vals []float64
+}
+
+func (c *sortedCollector) add(v float64) {
+	c.mu.Lock()
+	c.vals = append(c.vals, v)
+	c.mu.Unlock()
+}
+
+func (c *sortedCollector) sorted() []float64 {
+	sort.Float64s(c.vals)
+	return c.vals
+}
+
+func TestLightScheduleCounts(t *testing.T) {
+	comm.Run(3, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		// Rank r sends r+1 items to each other rank and keeps 2.
+		var dest []int32
+		for other := 0; other < 3; other++ {
+			n := p.Rank() + 1
+			if other == p.Rank() {
+				n = 2
+			}
+			for i := 0; i < n; i++ {
+				dest = append(dest, int32(other))
+			}
+		}
+		ls := BuildLight(p, dest)
+		wantRecv := 2 // own
+		for other := 0; other < 3; other++ {
+			if other != p.Rank() {
+				wantRecv += other + 1
+			}
+		}
+		if ls.TotalRecv() != wantRecv {
+			t.Errorf("rank %d TotalRecv = %d, want %d", p.Rank(), ls.TotalRecv(), wantRecv)
+		}
+		if ls.TotalSend() != 2*(p.Rank()+1) {
+			t.Errorf("rank %d TotalSend = %d, want %d", p.Rank(), ls.TotalSend(), 2*(p.Rank()+1))
+		}
+	})
+}
+
+func TestBuildLightBadDestPanics(t *testing.T) {
+	comm.Run(1, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad destination did not panic")
+			}
+		}()
+		BuildLight(p, []int32{5})
+	})
+}
+
+func TestLightweightCheaperThanRegular(t *testing.T) {
+	// The headline claim behind Table 4: moving the same records with a
+	// light-weight schedule costs less virtual time than building and using
+	// a regular schedule with index translation and permutation lists.
+	const n = 4000
+	const nprocs = 4
+	rng := rand.New(rand.NewSource(9))
+	owners := make([]int32, n)
+	for i := range owners {
+		owners[i] = int32(i * nprocs / n)
+	}
+	moves := make([]int32, n) // global destination slot per item, random
+	for i := range moves {
+		moves[i] = int32(rng.Intn(n))
+	}
+	regular := comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+		tt, ht := buildEnv(p, owners)
+		lo := p.Rank() * n / nprocs
+		hi := (p.Rank() + 1) * n / nprocs
+		st := ht.NewStamp()
+		loc := ht.Hash(moves[lo:hi], st)
+		sched := Build(p, ht, st, 0)
+		data := make([]float64, sched.MinLen())
+		for k := range loc {
+			data[loc[k]] = float64(lo + k)
+		}
+		Scatter(p, sched, data, OpReplace)
+		_ = tt
+	})
+	light := comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+		lo := p.Rank() * n / nprocs
+		hi := (p.Rank() + 1) * n / nprocs
+		dest := make([]int32, hi-lo)
+		for i := range dest {
+			dest[i] = owners[moves[lo+i]]
+		}
+		ls := BuildLight(p, dest)
+		items := make([]float64, hi-lo)
+		ls.MoveF64(p, dest, items, 1)
+	})
+	if light.MaxClock() >= regular.MaxClock() {
+		t.Errorf("light-weight (%.6fs) not cheaper than regular (%.6fs)", light.MaxClock(), regular.MaxClock())
+	}
+}

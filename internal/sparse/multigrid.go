@@ -1,0 +1,258 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/hashtab"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+)
+
+// This file implements a two-level aggregation multigrid, the solver class
+// behind the paper's first cited workload ("explicit multi-grid
+// unstructured computational fluid dynamic solvers", Mavriplis). The
+// inter-grid transfers are themselves irregular loops over an indirection
+// array — the aggregate id of each fine row — so the parallel version
+// drives them through the CHAOS machinery: restriction is an irregular
+// scatter-add into the coarse space, prolongation an irregular gather.
+
+// Aggregate greedily groups the rows of a into connected aggregates over
+// the sparsity graph and returns the aggregate id of each row plus the
+// aggregate count. Deterministic.
+func Aggregate(a *Matrix) ([]int32, int) {
+	n := a.Rows()
+	agg := make([]int32, n)
+	for i := range agg {
+		agg[i] = -1
+	}
+	next := int32(0)
+	for r := 0; r < n; r++ {
+		if agg[r] >= 0 {
+			continue
+		}
+		// Seed a new aggregate with r and its unassigned neighbours.
+		agg[r] = next
+		for k := a.Ptr[r]; k < a.Ptr[r+1]; k++ {
+			c := a.Col[k]
+			if int(c) != r && agg[c] < 0 {
+				agg[c] = next
+			}
+		}
+		next++
+	}
+	return agg, int(next)
+}
+
+// Galerkin forms the coarse operator Ac = P^T A P for the piecewise-
+// constant prolongator defined by agg (column j of P is the indicator of
+// aggregate j).
+func Galerkin(a *Matrix, agg []int32, nCoarse int) *Matrix {
+	rows := make([]map[int32]float64, nCoarse)
+	for i := range rows {
+		rows[i] = map[int32]float64{}
+	}
+	for r := 0; r < a.Rows(); r++ {
+		cr := agg[r]
+		for k := a.Ptr[r]; k < a.Ptr[r+1]; k++ {
+			rows[cr][agg[a.Col[k]]] += a.Val[k]
+		}
+	}
+	ac := &Matrix{N: nCoarse, Ptr: make([]int32, nCoarse+1)}
+	for r := 0; r < nCoarse; r++ {
+		// Deterministic order: diagonal first, then ascending columns.
+		if v, ok := rows[r][int32(r)]; ok {
+			ac.Col = append(ac.Col, int32(r))
+			ac.Val = append(ac.Val, v)
+		}
+		for c := int32(0); int(c) < nCoarse; c++ {
+			if int(c) == r {
+				continue
+			}
+			if v, ok := rows[r][c]; ok {
+				ac.Col = append(ac.Col, c)
+				ac.Val = append(ac.Val, v)
+			}
+		}
+		ac.Ptr[r+1] = int32(len(ac.Col))
+	}
+	return ac
+}
+
+// TwoLevelSeq runs `cycles` two-level V-cycles on A x = b sequentially:
+// pre-smooth (damped Jacobi), restrict the residual, solve the coarse
+// system (CG), prolong the correction, post-smooth. Returns the final
+// residual norm.
+func TwoLevelSeq(a *Matrix, b, x []float64, cycles, smooths int, omega float64) float64 {
+	agg, nc := Aggregate(a)
+	ac := Galerkin(a, agg, nc)
+	inv := diagInverse(a)
+	n := a.Rows()
+	r := make([]float64, n)
+	rc := make([]float64, nc)
+	xc := make([]float64, nc)
+	smooth := func() {
+		for s := 0; s < smooths; s++ {
+			a.MulVec(x, r)
+			for i := 0; i < n; i++ {
+				x[i] += omega * inv[i] * (b[i] - r[i])
+			}
+		}
+	}
+	for c := 0; c < cycles; c++ {
+		smooth()
+		a.MulVec(x, r)
+		for i := range rc {
+			rc[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			rc[agg[i]] += b[i] - r[i] // restriction: irregular scatter-add
+		}
+		for i := range xc {
+			xc[i] = 0
+		}
+		CGSeq(ac, rc, xc, 1e-12, 4*nc)
+		for i := 0; i < n; i++ {
+			x[i] += xc[agg[i]] // prolongation: irregular gather
+		}
+		smooth()
+	}
+	a.MulVec(x, r)
+	res := 0.0
+	for i := 0; i < n; i++ {
+		d := b[i] - r[i]
+		res += d * d
+	}
+	return math.Sqrt(res)
+}
+
+// MGDist is the distributed two-level hierarchy: the fine solver state, the
+// coarse solver state, and the CHAOS schedules driving the inter-grid
+// transfers through the aggregate indirection array.
+type MGDist struct {
+	p      *comm.Proc
+	fine   *Dist
+	coarse *Dist
+	// locAgg localizes each fine row's aggregate id into the coarse
+	// distribution's buffer space.
+	locAgg    []int32
+	transfer  *schedule.Schedule
+	coarseBuf int
+	smooths   int
+	omega     float64
+	b         []float64 // local rhs (captured at construction)
+}
+
+// NewMGDist builds the distributed two-level hierarchy. aggFull is the
+// global aggregate map (identical on all ranks — the coarsening decision is
+// replicated, as 1990s unstructured multigrid setups were); fine is the
+// distributed fine-grid solver; the coarse rows are BLOCK-distributed.
+// Collective.
+func NewMGDist(p *comm.Proc, fine *Dist, aggFull []int32, nCoarse int, acFull *Matrix, smooths int, omega float64, b []float64) *MGDist {
+	validateAggregates(aggFull, nCoarse)
+	rtc := core.NewRuntime(p)
+	coarseRows := rtc.BlockDist(nCoarse)
+	clo, chi := partition.BlockRange(p.Rank(), nCoarse, p.Size())
+	coarseSlab := acFull.RowSlab(clo, chi)
+	coarse := NewDist(p, coarseRows, coarseSlab)
+
+	// Localize the fine rows' aggregate ids against the coarse
+	// distribution: the inspector for both transfer directions.
+	myAgg := make([]int32, fine.rows.NLocal())
+	for i, g := range fine.rows.Globals() {
+		myAgg[i] = aggFull[g]
+	}
+	ht := hashtab.New(p, coarseRows.TT())
+	stamp := ht.NewStamp()
+	locAgg := ht.Hash(myAgg, stamp)
+	transfer := schedule.Build(p, ht, stamp, 0)
+
+	return &MGDist{
+		p:         p,
+		fine:      fine,
+		coarse:    coarse,
+		locAgg:    locAgg,
+		transfer:  transfer,
+		coarseBuf: ht.NLocal() + ht.NGhosts(),
+		smooths:   smooths,
+		omega:     omega,
+		b:         b,
+	}
+}
+
+// Cycle runs `cycles` two-level V-cycles on the distributed system,
+// updating x (local section) in place, and returns the global residual
+// norm. Collective.
+func (mg *MGDist) Cycle(x []float64, cycles int) float64 {
+	n := mg.fine.rows.NLocal()
+	fineBuf := make([]float64, mg.fine.nBuf)
+	r := make([]float64, n)
+	cbuf := make([]float64, mg.coarseBuf)
+	xc := make([]float64, mg.coarse.rows.NLocal())
+	rc := make([]float64, mg.coarse.rows.NLocal())
+
+	smooth := func() {
+		for s := 0; s < mg.smooths; s++ {
+			mg.fine.mulVec(x, r, fineBuf)
+			for i := 0; i < n; i++ {
+				x[i] += mg.omega * mg.fine.diagIx[i] * (mg.b[i] - r[i])
+			}
+			mg.p.ComputeFlops(3 * n)
+		}
+	}
+
+	for c := 0; c < cycles; c++ {
+		smooth()
+		// Restriction: residual scatter-added into coarse rows through the
+		// aggregate indirection (off-processor aggregates via the
+		// schedule).
+		mg.fine.mulVec(x, r, fineBuf)
+		for i := range cbuf {
+			cbuf[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cbuf[mg.locAgg[i]] += mg.b[i] - r[i]
+		}
+		mg.p.ComputeFlops(2 * n)
+		schedule.Scatter(mg.p, mg.transfer, cbuf, schedule.OpAdd)
+		copy(rc, cbuf[:len(rc)])
+
+		// Coarse solve.
+		for i := range xc {
+			xc[i] = 0
+		}
+		mg.coarse.CG(rc, xc, 1e-12, 4*mg.coarse.rows.TT().N())
+
+		// Prolongation: gather coarse corrections to the fine rows.
+		copy(cbuf, xc)
+		schedule.Gather(mg.p, mg.transfer, cbuf)
+		for i := 0; i < n; i++ {
+			x[i] += cbuf[mg.locAgg[i]]
+		}
+		mg.p.ComputeFlops(n)
+		smooth()
+	}
+
+	mg.fine.mulVec(x, r, fineBuf)
+	local := 0.0
+	for i := 0; i < n; i++ {
+		d := mg.b[i] - r[i]
+		local += d * d
+	}
+	mg.p.ComputeFlops(2 * n)
+	return math.Sqrt(mg.p.AllReduceScalarF64(comm.OpSum, local))
+}
+
+// CoarseN returns the coarse-space dimension.
+func (mg *MGDist) CoarseN() int { return mg.coarse.rows.TT().N() }
+
+// validateAggregates panics if agg is not a total map onto [0, nCoarse).
+func validateAggregates(agg []int32, nCoarse int) {
+	for i, a := range agg {
+		if a < 0 || int(a) >= nCoarse {
+			panic(fmt.Sprintf("sparse: row %d has aggregate %d outside [0,%d)", i, a, nCoarse))
+		}
+	}
+}

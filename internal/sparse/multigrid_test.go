@@ -1,0 +1,148 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/mesh"
+	"repro/internal/partition"
+)
+
+func TestAggregateCoversAllRows(t *testing.T) {
+	m := testMesh()
+	a := Laplacian(m, 0.1)
+	agg, nc := Aggregate(a)
+	if nc < 1 || nc >= a.Rows() {
+		t.Fatalf("aggregate count %d of %d rows", nc, a.Rows())
+	}
+	seen := make([]bool, nc)
+	for i, g := range agg {
+		if g < 0 || int(g) >= nc {
+			t.Fatalf("row %d aggregate %d out of range", i, g)
+		}
+		seen[g] = true
+	}
+	for g, ok := range seen {
+		if !ok {
+			t.Fatalf("aggregate %d empty", g)
+		}
+	}
+	// Meaningful coarsening: at least 3x reduction on a mesh graph.
+	if nc*3 > a.Rows() {
+		t.Errorf("weak coarsening: %d -> %d", a.Rows(), nc)
+	}
+}
+
+func TestGalerkinPreservesRowSums(t *testing.T) {
+	// P^T A P with piecewise-constant P preserves total row sums: the
+	// coarse row sums are aggregate sums of fine row sums.
+	m := testMesh()
+	a := Laplacian(m, 0.7)
+	agg, nc := Aggregate(a)
+	ac := Galerkin(a, agg, nc)
+	fineSum := make([]float64, nc)
+	for r := 0; r < a.Rows(); r++ {
+		for k := a.Ptr[r]; k < a.Ptr[r+1]; k++ {
+			fineSum[agg[r]] += a.Val[k]
+		}
+	}
+	for r := 0; r < nc; r++ {
+		s := 0.0
+		for k := ac.Ptr[r]; k < ac.Ptr[r+1]; k++ {
+			s += ac.Val[k]
+		}
+		if math.Abs(s-fineSum[r]) > 1e-9 {
+			t.Fatalf("coarse row %d sums to %v, want %v", r, s, fineSum[r])
+		}
+	}
+}
+
+func TestTwoLevelBeatsSmoothing(t *testing.T) {
+	// The whole point of multigrid: V-cycles reduce the residual far
+	// faster than the same number of Jacobi smoothing sweeps alone.
+	m := mesh.Generate(24, 24, 0.3, 4)
+	a := Laplacian(m, 0.05)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.03)
+	}
+	const cycles = 6
+	const smooths = 2
+
+	xmg := make([]float64, a.N)
+	resMG := TwoLevelSeq(a, b, xmg, cycles, smooths, 0.7)
+
+	// Equivalent smoothing work without the coarse correction.
+	xsm := make([]float64, a.N)
+	inv := diagInverse(a)
+	r := make([]float64, a.N)
+	for s := 0; s < 2*cycles*smooths; s++ {
+		a.MulVec(xsm, r)
+		for i := range xsm {
+			xsm[i] += 0.7 * inv[i] * (b[i] - r[i])
+		}
+	}
+	a.MulVec(xsm, r)
+	resSm := 0.0
+	for i := range r {
+		d := b[i] - r[i]
+		resSm += d * d
+	}
+	resSm = math.Sqrt(resSm)
+	if resMG*10 > resSm {
+		t.Errorf("two-level residual %v not well below smoothing-only %v", resMG, resSm)
+	}
+}
+
+func TestDistributedMultigridMatchesSequential(t *testing.T) {
+	m := mesh.Generate(16, 14, 0.3, 8)
+	a := Laplacian(m, 0.05)
+	bFull := make([]float64, a.N)
+	for i := range bFull {
+		bFull[i] = math.Cos(float64(i) * 0.07)
+	}
+	const cycles = 4
+	const smooths = 2
+	const omega = 0.7
+
+	xseq := make([]float64, a.N)
+	wantRes := TwoLevelSeq(a, bFull, xseq, cycles, smooths, omega)
+
+	agg, nc := Aggregate(a)
+	ac := Galerkin(a, agg, nc)
+	for _, nprocs := range []int{1, 2, 4} {
+		resAll := make([]float64, nprocs)
+		xfull := make([]float64, a.N)
+		comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+			d, b, x := SetupBlockRows(p, m, a, bFull, false)
+			mg := NewMGDist(p, d, agg, nc, ac, smooths, omega, b)
+			if mg.CoarseN() != nc {
+				t.Errorf("CoarseN = %d, want %d", mg.CoarseN(), nc)
+			}
+			resAll[p.Rank()] = mg.Cycle(x, cycles)
+			for i, g := range d.Rows().Globals() {
+				xfull[g] = x[i] // block rows: disjoint writes
+			}
+			_ = partition.BlockRange
+		})
+		if math.Abs(resAll[0]-wantRes) > 1e-6*(1+wantRes) {
+			t.Errorf("nprocs=%d residual %v, want %v", nprocs, resAll[0], wantRes)
+		}
+		for i := range xfull {
+			if math.Abs(xfull[i]-xseq[i]) > 1e-8 {
+				t.Fatalf("nprocs=%d x[%d] = %v, want %v", nprocs, i, xfull[i], xseq[i])
+			}
+		}
+	}
+}
+
+func TestBadAggregatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad aggregate map did not panic")
+		}
+	}()
+	validateAggregates([]int32{0, 5}, 2)
+}

@@ -1,0 +1,407 @@
+// Package sparse implements a distributed sparse iterative solver of the
+// class the paper's introduction cites as a PARTI/CHAOS target:
+// "diagonal or polynomial preconditioned iterative linear solvers"
+// (Venkatakrishnan, Saltz, Mavriplis). It provides a CSR sparse matrix, a
+// graph Laplacian builder over an unstructured mesh, a sequential
+// Jacobi-preconditioned conjugate-gradient reference, and the
+// CHAOS-parallelized CG: the sparse matrix-vector product is the static
+// irregular loop — column indices are hashed once, one communication
+// schedule is built, and every iteration runs gather + local SpMV, with
+// dot products as reductions.
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/hashtab"
+	"repro/internal/mesh"
+	"repro/internal/partition"
+	"repro/internal/remap"
+	"repro/internal/schedule"
+)
+
+// Matrix is a CSR sparse matrix (a full matrix sequentially, or a slab of
+// rows in the distributed solver).
+type Matrix struct {
+	N   int // global column dimension
+	Ptr []int32
+	Col []int32
+	Val []float64
+}
+
+// Rows returns the stored row count.
+func (a *Matrix) Rows() int { return len(a.Ptr) - 1 }
+
+// NNZ returns the stored non-zero count.
+func (a *Matrix) NNZ() int { return len(a.Col) }
+
+// Laplacian builds the weighted graph Laplacian of a mesh, shifted by
+// +shift on the diagonal so the system is positive definite:
+// A = L + shift*I with L[i][i] = sum of incident edge weights and
+// L[i][j] = -w(i,j).
+func Laplacian(m *mesh.Mesh, shift float64) *Matrix {
+	type entry struct {
+		col int32
+		val float64
+	}
+	rows := make([][]entry, m.NV)
+	diag := make([]float64, m.NV)
+	for k := range m.EI {
+		i, j := m.EI[k], m.EJ[k]
+		dx := m.X[i] - m.X[j]
+		dy := m.Y[i] - m.Y[j]
+		d2 := dx*dx + dy*dy
+		if d2 == 0 {
+			continue
+		}
+		w := 1 / d2
+		rows[i] = append(rows[i], entry{j, -w})
+		rows[j] = append(rows[j], entry{i, -w})
+		diag[i] += w
+		diag[j] += w
+	}
+	a := &Matrix{N: m.NV, Ptr: make([]int32, m.NV+1)}
+	for v := 0; v < m.NV; v++ {
+		a.Col = append(a.Col, int32(v))
+		a.Val = append(a.Val, diag[v]+shift)
+		for _, e := range rows[v] {
+			a.Col = append(a.Col, e.col)
+			a.Val = append(a.Val, e.val)
+		}
+		a.Ptr[v+1] = int32(len(a.Col))
+	}
+	return a
+}
+
+// RowSlab returns the CSR slab for rows [lo, hi).
+func (a *Matrix) RowSlab(lo, hi int) *Matrix {
+	s := &Matrix{N: a.N, Ptr: make([]int32, hi-lo+1)}
+	base := a.Ptr[lo]
+	for r := lo; r < hi; r++ {
+		s.Ptr[r-lo+1] = a.Ptr[r+1] - base
+	}
+	s.Col = a.Col[base:a.Ptr[hi]]
+	s.Val = a.Val[base:a.Ptr[hi]]
+	return s
+}
+
+// MulVec computes y = A x sequentially.
+func (a *Matrix) MulVec(x, y []float64) {
+	for r := 0; r < a.Rows(); r++ {
+		s := 0.0
+		for k := a.Ptr[r]; k < a.Ptr[r+1]; k++ {
+			s += a.Val[k] * x[a.Col[k]]
+		}
+		y[r] = s
+	}
+}
+
+// Result reports a CG solve.
+type Result struct {
+	Iterations int
+	Residual   float64 // final ||r||_2
+	Converged  bool
+}
+
+// CGSeq is the sequential Jacobi (diagonal) preconditioned conjugate
+// gradient reference: solves A x = b in place in x.
+func CGSeq(a *Matrix, b, x []float64, tol float64, maxIter int) Result {
+	n := a.Rows()
+	inv := diagInverse(a)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+		z[i] = inv[i] * r[i]
+		p[i] = z[i]
+	}
+	rz := dot(r, z)
+	for it := 1; it <= maxIter; it++ {
+		a.MulVec(p, ap)
+		alpha := rz / dot(p, ap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		nrm := math.Sqrt(dot(r, r))
+		if nrm < tol {
+			return Result{Iterations: it, Residual: nrm, Converged: true}
+		}
+		for i := range z {
+			z[i] = inv[i] * r[i]
+		}
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return Result{Iterations: maxIter, Residual: math.Sqrt(dot(r, r))}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func diagInverse(a *Matrix) []float64 {
+	// The slab's rows are globally numbered via an offset the caller
+	// manages; in CSR-with-global-columns form, the diagonal of local row
+	// r is the entry whose column equals the row's global index. For the
+	// sequential full matrix the offset is zero.
+	inv := make([]float64, a.Rows())
+	for r := 0; r < a.Rows(); r++ {
+		for k := a.Ptr[r]; k < a.Ptr[r+1]; k++ {
+			if int(a.Col[k]) == r {
+				inv[r] = 1 / a.Val[k]
+				break
+			}
+		}
+		if inv[r] == 0 {
+			panic(fmt.Sprintf("sparse: zero or missing diagonal in row %d", r))
+		}
+	}
+	return inv
+}
+
+// Modeled arithmetic per stored non-zero in SpMV.
+const spmvFlops = 2
+
+// Preconditioner selects the CG preconditioner: the two kinds the paper's
+// introduction names ("diagonal or polynomial preconditioned iterative
+// linear solvers").
+type Preconditioner int
+
+// Preconditioners.
+const (
+	// Jacobi applies z = D^-1 r.
+	Jacobi Preconditioner = iota
+	// Neumann2 applies the degree-2 Neumann-series polynomial in the
+	// Jacobi-split iteration matrix: with M = D^-1 A,
+	// z = (I + (I-M) + (I-M)^2) D^-1 r — two extra SpMVs per iteration,
+	// fewer iterations on stiff systems.
+	Neumann2
+)
+
+// Dist wraps the distributed pieces of a CG solve: the row distribution,
+// the localized matrix slab, and the one static gather schedule.
+type Dist struct {
+	p      *comm.Proc
+	rows   *core.Dist
+	a      *Matrix // local rows; Col holds localized indices after setup
+	sched  *schedule.Schedule
+	nBuf   int
+	diagIx []float64 // 1/diag of local rows
+}
+
+// NewDist builds the distributed solver state from the local row slab of A
+// (columns in global numbering, rows following dist's local order). The
+// inspector runs here — once — because the sparsity pattern is static.
+// Collective.
+func NewDist(p *comm.Proc, rows *core.Dist, local *Matrix) *Dist {
+	d := &Dist{p: p, rows: rows}
+	if local.Rows() != rows.NLocal() {
+		panic(fmt.Sprintf("sparse: %d local rows but distribution has %d", local.Rows(), rows.NLocal()))
+	}
+	// Diagonal inverse from global column numbering.
+	d.diagIx = make([]float64, local.Rows())
+	for r, g := range rows.Globals() {
+		for k := local.Ptr[r]; k < local.Ptr[r+1]; k++ {
+			if local.Col[k] == g {
+				d.diagIx[r] = 1 / local.Val[k]
+				break
+			}
+		}
+		if d.diagIx[r] == 0 {
+			panic(fmt.Sprintf("sparse: zero or missing diagonal in global row %d", g))
+		}
+	}
+	// Inspector: localize column indices, build the gather schedule.
+	ht := hashtab.New(p, rows.TT())
+	stamp := ht.NewStamp()
+	loc := ht.Hash(local.Col, stamp)
+	d.sched = schedule.Build(p, ht, stamp, 0)
+	d.nBuf = ht.NLocal() + ht.NGhosts()
+	d.a = &Matrix{N: local.N, Ptr: local.Ptr, Col: loc, Val: local.Val}
+	return d
+}
+
+// GhostCount returns the off-processor vector entries fetched per SpMV.
+func (d *Dist) GhostCount() int { return d.nBuf - d.rows.NLocal() }
+
+// Rows returns the row distribution.
+func (d *Dist) Rows() *core.Dist { return d.rows }
+
+// mulVec computes y = A x for the local rows; x is gathered into the ghost
+// buffer first. Collective.
+func (d *Dist) mulVec(x, y, buf []float64) {
+	copy(buf, x)
+	schedule.Gather(d.p, d.sched, buf)
+	for r := 0; r < d.a.Rows(); r++ {
+		s := 0.0
+		for k := d.a.Ptr[r]; k < d.a.Ptr[r+1]; k++ {
+			s += d.a.Val[k] * buf[d.a.Col[k]]
+		}
+		y[r] = s
+	}
+	d.p.ComputeFlops(spmvFlops * d.a.NNZ())
+}
+
+// dotGlobal is a distributed dot product.
+func (d *Dist) dotGlobal(a, b []float64) float64 {
+	d.p.ComputeFlops(2 * len(a))
+	return d.p.AllReduceScalarF64(comm.OpSum, dot(a, b))
+}
+
+// CG solves A x = b with Jacobi-preconditioned conjugate gradients on the
+// distribution: b and x are local sections. Collective.
+func (d *Dist) CG(b, x []float64, tol float64, maxIter int) Result {
+	return d.CGPrecond(b, x, tol, maxIter, Jacobi)
+}
+
+// applyPrecond computes z = P r for the selected preconditioner.
+func (d *Dist) applyPrecond(kind Preconditioner, r, z, t1, t2, buf []float64) {
+	n := len(r)
+	switch kind {
+	case Jacobi:
+		for i := 0; i < n; i++ {
+			z[i] = d.diagIx[i] * r[i]
+		}
+		d.p.ComputeFlops(n)
+	case Neumann2:
+		// y0 = D^-1 r; z = y0 + (I - D^-1 A) y0 + (I - D^-1 A)^2 y0,
+		// evaluated with two SpMVs via the recurrence
+		// z_k+1 = y0 + (I - D^-1 A) z_k.
+		for i := 0; i < n; i++ {
+			t1[i] = d.diagIx[i] * r[i] // y0
+			z[i] = t1[i]
+		}
+		for pass := 0; pass < 2; pass++ {
+			d.mulVec(z, t2, buf)
+			for i := 0; i < n; i++ {
+				z[i] = t1[i] + z[i] - d.diagIx[i]*t2[i]
+			}
+			d.p.ComputeFlops(3 * n)
+		}
+	default:
+		panic(fmt.Sprintf("sparse: unknown preconditioner %d", kind))
+	}
+}
+
+// CGPrecond is CG with a selectable preconditioner. Collective.
+func (d *Dist) CGPrecond(b, x []float64, tol float64, maxIter int, kind Preconditioner) Result {
+	n := d.rows.NLocal()
+	r := make([]float64, n)
+	z := make([]float64, n)
+	pv := make([]float64, n)
+	ap := make([]float64, n)
+	buf := make([]float64, d.nBuf)
+	t1 := make([]float64, n)
+	t2 := make([]float64, n)
+	d.mulVec(x, r, buf)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	d.applyPrecond(kind, r, z, t1, t2, buf)
+	copy(pv, z)
+	d.p.ComputeFlops(2 * n)
+	rz := d.dotGlobal(r, z)
+	for it := 1; it <= maxIter; it++ {
+		d.mulVec(pv, ap, buf)
+		alpha := rz / d.dotGlobal(pv, ap)
+		for i := range x {
+			x[i] += alpha * pv[i]
+			r[i] -= alpha * ap[i]
+		}
+		d.p.ComputeFlops(4 * n)
+		nrm := math.Sqrt(d.dotGlobal(r, r))
+		if nrm < tol {
+			return Result{Iterations: it, Residual: nrm, Converged: true}
+		}
+		d.applyPrecond(kind, r, z, t1, t2, buf)
+		rzNew := d.dotGlobal(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range pv {
+			pv[i] = z[i] + beta*pv[i]
+		}
+		d.p.ComputeFlops(3 * n)
+	}
+	return Result{Iterations: maxIter, Residual: math.Sqrt(d.dotGlobal(r, r))}
+}
+
+// SetupBlockRows distributes a full matrix BLOCK by rows, then (optionally)
+// repartitions the rows with RCB over the mesh geometry, remapping the
+// slab; it returns the solver state plus the local sections of b and the
+// initial x (zeros). Convenience for examples and tests. Collective.
+func SetupBlockRows(p *comm.Proc, m *mesh.Mesh, a *Matrix, bFull []float64, geometric bool) (*Dist, []float64, []float64) {
+	rt := core.NewRuntime(p)
+	rows := rt.BlockDist(a.N)
+	lo, hi := partition.BlockRange(p.Rank(), a.N, p.Size())
+	slab := a.RowSlab(lo, hi)
+	b := append([]float64(nil), bFull[lo:hi]...)
+
+	if geometric && p.Size() > 1 {
+		// Phase A: RCB on vertex coordinates, weighted by row length.
+		g := &partition.Geom{
+			Dim: 2,
+			X:   make([]float64, rows.NLocal()),
+			Y:   make([]float64, rows.NLocal()),
+			W:   make([]float64, rows.NLocal()),
+		}
+		for i, gv := range rows.Globals() {
+			g.X[i] = m.X[gv]
+			g.Y[i] = m.Y[gv]
+			g.W[i] = float64(1 + slab.Ptr[i+1] - slab.Ptr[i])
+		}
+		owners := partition.RCB(p, g)
+		rows2, plan := rows.Repartition(owners)
+		b = plan.MoveF64(p, b, 1)
+		ptr, colv := moveCSRPair(p, plan, slab)
+		slab = &Matrix{N: a.N, Ptr: ptr, Col: colv.cols, Val: colv.vals}
+		rows = rows2
+	}
+	d := NewDist(p, rows, slab)
+	return d, b, make([]float64, rows.NLocal())
+}
+
+// colsVals pairs the moved CSR payload.
+type colsVals struct {
+	cols []int32
+	vals []float64
+}
+
+// moveCSRPair remaps a CSR slab whose segments carry (column, value) pairs.
+func moveCSRPair(p *comm.Proc, plan *remap.Plan, slab *Matrix) ([]int32, colsVals) {
+	// Move the column structure with MoveCSR, then the values as a second
+	// CSR with identical shape encoded through the same plan. MoveCSR only
+	// handles int32 payloads, so the float values ride as raw bits.
+	ptr, cols := plan.MoveCSR(p, slab.Ptr, slab.Col)
+	bits := make([]int32, 2*len(slab.Val))
+	for i, v := range slab.Val {
+		u := math.Float64bits(v)
+		bits[2*i] = int32(uint32(u))
+		bits[2*i+1] = int32(uint32(u >> 32))
+	}
+	// Build a doubled CSR so each value's two words travel with its row.
+	dblPtr := make([]int32, len(slab.Ptr))
+	for i, v := range slab.Ptr {
+		dblPtr[i] = 2 * v
+	}
+	_, movedBits := plan.MoveCSR(p, dblPtr, bits)
+	vals := make([]float64, len(movedBits)/2)
+	for i := range vals {
+		vals[i] = math.Float64frombits(uint64(uint32(movedBits[2*i])) | uint64(uint32(movedBits[2*i+1]))<<32)
+	}
+	return ptr, colsVals{cols: cols, vals: vals}
+}

@@ -1,0 +1,239 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/mesh"
+)
+
+func testMesh() *mesh.Mesh { return mesh.Generate(14, 11, 0.3, 9) }
+
+func TestLaplacianStructure(t *testing.T) {
+	m := testMesh()
+	a := Laplacian(m, 0.5)
+	if a.Rows() != m.NV || a.N != m.NV {
+		t.Fatalf("dimensions %dx%d, want %d", a.Rows(), a.N, m.NV)
+	}
+	// Row sums equal the shift (Laplacian rows sum to zero).
+	for r := 0; r < a.Rows(); r++ {
+		s := 0.0
+		for k := a.Ptr[r]; k < a.Ptr[r+1]; k++ {
+			s += a.Val[k]
+		}
+		if math.Abs(s-0.5) > 1e-9 {
+			t.Fatalf("row %d sums to %v, want 0.5", r, s)
+		}
+	}
+	// Symmetry: A[i][j] == A[j][i].
+	get := func(i, j int32) float64 {
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			if a.Col[k] == j {
+				return a.Val[k]
+			}
+		}
+		return 0
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		i := int32(rng.Intn(a.Rows()))
+		j := int32(rng.Intn(a.Rows()))
+		if math.Abs(get(i, j)-get(j, i)) > 1e-12 {
+			t.Fatalf("asymmetric at (%d,%d)", i, j)
+		}
+	}
+}
+
+func TestCGSeqSolves(t *testing.T) {
+	m := testMesh()
+	a := Laplacian(m, 1.0)
+	// Manufactured solution.
+	want := make([]float64, a.N)
+	for i := range want {
+		want[i] = math.Sin(float64(i) * 0.37)
+	}
+	b := make([]float64, a.N)
+	a.MulVec(want, b)
+	x := make([]float64, a.N)
+	res := CGSeq(a, b, x, 1e-10, 500)
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-7 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+// runParallelCG executes the distributed solve and returns the assembled
+// global solution plus iteration count (same on every rank).
+func runParallelCG(t *testing.T, nprocs int, geometric bool) ([]float64, int) {
+	t.Helper()
+	m := testMesh()
+	a := Laplacian(m, 1.0)
+	want := make([]float64, a.N)
+	for i := range want {
+		want[i] = math.Cos(float64(i) * 0.21)
+	}
+	b := make([]float64, a.N)
+	a.MulVec(want, b)
+
+	full := make([]float64, a.N)
+	iters := make([]int, nprocs)
+	comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+		d, bl, xl := SetupBlockRows(p, m, a, b, geometric)
+		res := d.CG(bl, xl, 1e-10, 500)
+		if !res.Converged {
+			t.Errorf("rank %d: CG did not converge: %+v", p.Rank(), res)
+		}
+		iters[p.Rank()] = res.Iterations
+		// Assemble globally for verification.
+		gs := d.rows.Globals()
+		pairs := make([]float64, 0, 2*len(gs))
+		for i, g := range gs {
+			pairs = append(pairs, float64(g), xl[i])
+		}
+		for _, bb := range p.AllGather(comm.EncodeF64(pairs)) {
+			if p.Rank() != 0 {
+				continue // every rank has the data; only one writes
+			}
+			vals := comm.DecodeF64(bb)
+			for k := 0; k+1 < len(vals); k += 2 {
+				full[int(vals[k])] = vals[k+1]
+			}
+		}
+	})
+	return full, iters[0]
+}
+
+func TestParallelCGMatchesSequential(t *testing.T) {
+	m := testMesh()
+	a := Laplacian(m, 1.0)
+	want := make([]float64, a.N)
+	for i := range want {
+		want[i] = math.Cos(float64(i) * 0.21)
+	}
+	for _, nprocs := range []int{1, 2, 5} {
+		for _, geometric := range []bool{false, true} {
+			x, iters := runParallelCG(t, nprocs, geometric)
+			for i := range x {
+				if math.Abs(x[i]-want[i]) > 1e-6 {
+					t.Fatalf("nprocs=%d geo=%v: x[%d] = %v, want %v", nprocs, geometric, i, x[i], want[i])
+				}
+			}
+			if iters < 2 || iters > 500 {
+				t.Errorf("nprocs=%d geo=%v: implausible iteration count %d", nprocs, geometric, iters)
+			}
+		}
+	}
+}
+
+func TestGeometricPartitionReducesGhosts(t *testing.T) {
+	m := testMesh()
+	a := Laplacian(m, 1.0)
+	b := make([]float64, a.N)
+	ghosts := func(geometric bool) int {
+		total := 0
+		results := make([]int, 6)
+		comm.Run(6, costmodel.IPSC860(), func(p *comm.Proc) {
+			d, _, _ := SetupBlockRows(p, m, a, b, geometric)
+			results[p.Rank()] = d.GhostCount()
+		})
+		for _, g := range results {
+			total += g
+		}
+		return total
+	}
+	blk := ghosts(false)
+	rcb := ghosts(true)
+	if rcb >= blk {
+		t.Errorf("RCB ghosts %d not below block %d", rcb, blk)
+	}
+}
+
+func TestRowSlab(t *testing.T) {
+	m := testMesh()
+	a := Laplacian(m, 2.0)
+	s := a.RowSlab(5, 9)
+	if s.Rows() != 4 {
+		t.Fatalf("slab rows %d", s.Rows())
+	}
+	for r := 0; r < 4; r++ {
+		gl := a.Ptr[5+r]
+		if s.Ptr[r+1]-s.Ptr[r] != a.Ptr[5+r+1]-gl {
+			t.Fatalf("slab row %d length mismatch", r)
+		}
+		for k := int32(0); k < s.Ptr[r+1]-s.Ptr[r]; k++ {
+			if s.Col[s.Ptr[r]+k] != a.Col[gl+k] || s.Val[s.Ptr[r]+k] != a.Val[gl+k] {
+				t.Fatalf("slab row %d entry %d mismatch", r, k)
+			}
+		}
+	}
+}
+
+func TestMissingDiagonalPanics(t *testing.T) {
+	a := &Matrix{N: 2, Ptr: []int32{0, 1, 2}, Col: []int32{1, 0}, Val: []float64{1, 1}}
+	defer func() {
+		if recover() == nil {
+			t.Error("missing diagonal did not panic")
+		}
+	}()
+	CGSeq(a, []float64{1, 1}, make([]float64, 2), 1e-8, 10)
+}
+
+func TestPolynomialPreconditioner(t *testing.T) {
+	// Neumann2 must converge to the same solution in fewer CG iterations
+	// than Jacobi on the mesh Laplacian (at the price of extra SpMVs).
+	m := testMesh()
+	a := Laplacian(m, 0.2) // stiffer system
+	want := make([]float64, a.N)
+	for i := range want {
+		want[i] = math.Sin(float64(i) * 0.11)
+	}
+	b := make([]float64, a.N)
+	a.MulVec(want, b)
+
+	solve := func(kind Preconditioner) (int, []float64) {
+		full := make([]float64, a.N)
+		iters := 0
+		comm.Run(4, costmodel.IPSC860(), func(p *comm.Proc) {
+			d, bl, xl := SetupBlockRows(p, m, a, b, false)
+			res := d.CGPrecond(bl, xl, 1e-10, 2000, kind)
+			if !res.Converged {
+				t.Errorf("kind=%d did not converge: %+v", kind, res)
+			}
+			if p.Rank() == 0 {
+				iters = res.Iterations
+			}
+			gs := d.Rows().Globals()
+			pairs := make([]float64, 0, 2*len(gs))
+			for i, g := range gs {
+				pairs = append(pairs, float64(g), xl[i])
+			}
+			for _, bb := range p.AllGather(comm.EncodeF64(pairs)) {
+				if p.Rank() != 0 {
+					continue // every rank has the data; only one writes
+				}
+				vals := comm.DecodeF64(bb)
+				for k := 0; k+1 < len(vals); k += 2 {
+					full[int(vals[k])] = vals[k+1]
+				}
+			}
+		})
+		return iters, full
+	}
+	jIters, jx := solve(Jacobi)
+	nIters, nx := solve(Neumann2)
+	if nIters >= jIters {
+		t.Errorf("Neumann2 took %d iterations, Jacobi %d: polynomial preconditioning gained nothing", nIters, jIters)
+	}
+	for i := range jx {
+		if math.Abs(jx[i]-want[i]) > 1e-6 || math.Abs(nx[i]-want[i]) > 1e-6 {
+			t.Fatalf("solutions diverge at %d", i)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package ttable implements CHAOS translation tables: the globally
+// accessible structure that records, for every element of an irregularly
+// distributed array, its home processor and local offset (paper §3.1).
+//
+// Three storage modes are provided, as in the paper: fully replicated,
+// block-distributed (each processor stores the entries for one contiguous
+// slab of global indices), and paged (fixed-size pages assigned round-robin
+// to processors, fetched and cached on demand).
+//
+// Layout convention used throughout the repository: the local offset of a
+// global element g on its owner is the number of elements with smaller
+// global index owned by the same processor. Data remapping (internal/remap)
+// places array elements following the same rule, so a translation table and
+// the arrays it describes always agree.
+package ttable
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+)
+
+// Kind selects the storage mode of a translation table.
+type Kind int
+
+// Translation table storage modes.
+const (
+	Replicated Kind = iota
+	Distributed
+	Paged
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Replicated:
+		return "replicated"
+	case Distributed:
+		return "distributed"
+	case Paged:
+		return "paged"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Entry is one translation record: the owning processor and the local
+// offset of a global array element.
+type Entry struct {
+	Owner  int32
+	Offset int32
+}
+
+// DefaultPageSize is the page granularity of Paged tables.
+const DefaultPageSize = 1024
+
+// Table is a translation table for one irregular distribution. Tables are
+// built collectively and Dereference on Distributed/Paged tables is a
+// collective operation: all processors must call it together.
+type Table struct {
+	kind   Kind
+	n      int
+	nprocs int
+
+	// blockStarts[r] is the first global index whose map-array entry
+	// lives on processor r; blockStarts[nprocs] == n.
+	blockStarts []int
+
+	// counts[r] is the number of elements owned by processor r.
+	counts []int32
+
+	// Replicated storage: full arrays indexed by global index.
+	owners  []int32
+	offsets []int32
+
+	// Distributed storage: entries for my block only.
+	locOwners  []int32
+	locOffsets []int32
+
+	// Paged storage.
+	pageSize  int
+	homePages map[int][]Entry // pages this processor stores
+	pageCache map[int][]Entry // pages fetched from other processors
+}
+
+// Build constructs a translation table collectively. myOwners[i] gives the
+// owner of global element blockStart(rank)+i, i.e. the map array is assumed
+// block-distributed across processors in rank order (the Fortran D
+// convention for map arrays, Fig. 7). Every processor must pass its own
+// slab; slabs may have different lengths.
+func Build(p *comm.Proc, kind Kind, myOwners []int32) *Table {
+	t := &Table{kind: kind, nprocs: p.Size(), pageSize: DefaultPageSize}
+
+	// Establish the block decomposition of the map array.
+	sizes := p.AllGather(comm.EncodeI64([]int64{int64(len(myOwners))}))
+	t.blockStarts = make([]int, p.Size()+1)
+	for r := 0; r < p.Size(); r++ {
+		t.blockStarts[r+1] = t.blockStarts[r] + int(comm.DecodeI64(sizes[r])[0])
+	}
+	t.n = t.blockStarts[p.Size()]
+
+	// Per-owner counts in my block, then an exclusive scan across
+	// processors so each element's offset can be assigned locally.
+	myCnt := make([]int64, p.Size())
+	for _, o := range myOwners {
+		if o < 0 || int(o) >= p.Size() {
+			panic(fmt.Sprintf("ttable: owner %d out of range [0,%d)", o, p.Size()))
+		}
+		myCnt[o]++
+	}
+	p.ComputeMem(len(myOwners))
+	allCnt := p.AllGather(comm.EncodeI64(myCnt))
+	before := make([]int32, p.Size())
+	t.counts = make([]int32, p.Size())
+	for r := 0; r < p.Size(); r++ {
+		cnt := comm.DecodeI64(allCnt[r])
+		for o := 0; o < p.Size(); o++ {
+			if r < p.Rank() {
+				before[o] += int32(cnt[o])
+			}
+			t.counts[o] += int32(cnt[o])
+		}
+	}
+
+	// Offsets for my block.
+	myOffsets := make([]int32, len(myOwners))
+	running := before
+	for i, o := range myOwners {
+		myOffsets[i] = running[o]
+		running[o]++
+	}
+	p.ComputeMem(len(myOwners))
+
+	switch kind {
+	case Replicated:
+		t.owners = make([]int32, 0, t.n)
+		t.offsets = make([]int32, 0, t.n)
+		for _, b := range p.AllGather(comm.EncodeI32(myOwners)) {
+			t.owners = append(t.owners, comm.DecodeI32(b)...)
+		}
+		for _, b := range p.AllGather(comm.EncodeI32(myOffsets)) {
+			t.offsets = append(t.offsets, comm.DecodeI32(b)...)
+		}
+	case Distributed:
+		t.locOwners = append([]int32(nil), myOwners...)
+		t.locOffsets = myOffsets
+	case Paged:
+		t.homePages = make(map[int][]Entry)
+		t.pageCache = make(map[int][]Entry)
+		t.distributePages(p, myOwners, myOffsets)
+	default:
+		panic(fmt.Sprintf("ttable: unknown kind %v", kind))
+	}
+	return t
+}
+
+// distributePages ships (owner, offset) entries from the block layout to the
+// round-robin page layout.
+func (t *Table) distributePages(p *comm.Proc, myOwners, myOffsets []int32) {
+	lo := t.blockStarts[p.Rank()]
+	// Records per destination: global, owner, offset triples.
+	out := make([][]int32, p.Size())
+	for i := range myOwners {
+		g := lo + i
+		dst := (g / t.pageSize) % p.Size()
+		out[dst] = append(out[dst], int32(g), myOwners[i], myOffsets[i])
+	}
+	p.ComputeMem(len(myOwners))
+	bufs := make([][]byte, p.Size())
+	for r := range out {
+		bufs[r] = comm.EncodeI32(out[r])
+	}
+	for _, b := range p.AllToAll(bufs) {
+		recs := comm.DecodeI32(b)
+		for i := 0; i+2 < len(recs); i += 3 {
+			g := int(recs[i])
+			page := g / t.pageSize
+			ents := t.homePages[page]
+			if ents == nil {
+				size := t.pageSize
+				if (page+1)*t.pageSize > t.n {
+					size = t.n - page*t.pageSize
+				}
+				ents = make([]Entry, size)
+				t.homePages[page] = ents
+			}
+			ents[g%t.pageSize] = Entry{Owner: recs[i+1], Offset: recs[i+2]}
+		}
+	}
+}
+
+// Kind returns the storage mode.
+func (t *Table) Kind() Kind { return t.kind }
+
+// N returns the global array length.
+func (t *Table) N() int { return t.n }
+
+// NLocal returns the number of elements owned by rank r.
+func (t *Table) NLocal(r int) int { return int(t.counts[r]) }
+
+// Counts returns the per-processor element counts (do not modify).
+func (t *Table) Counts() []int32 { return t.counts }
+
+// blockOf returns the processor storing the map-array entry for global g.
+func (t *Table) blockOf(g int) int {
+	return sort.SearchInts(t.blockStarts[1:], g+1)
+}
+
+// Dereference translates global indices to (owner, offset) entries. For
+// Replicated tables this is purely local; for Distributed and Paged tables
+// it is a collective call (every processor must participate, possibly with
+// an empty request list).
+func (t *Table) Dereference(p *comm.Proc, globals []int32) []Entry {
+	for _, g := range globals {
+		if g < 0 || int(g) >= t.n {
+			panic(fmt.Sprintf("ttable: global index %d out of range [0,%d)", g, t.n))
+		}
+	}
+	switch t.kind {
+	case Replicated:
+		out := make([]Entry, len(globals))
+		for i, g := range globals {
+			out[i] = Entry{Owner: t.owners[g], Offset: t.offsets[g]}
+		}
+		p.ComputeMem(len(globals))
+		return out
+	case Distributed:
+		return t.derefDistributed(p, globals)
+	case Paged:
+		return t.derefPaged(p, globals)
+	default:
+		panic("ttable: bad kind")
+	}
+}
+
+// derefDistributed resolves lookups with a request/reply alltoall exchange.
+func (t *Table) derefDistributed(p *comm.Proc, globals []int32) []Entry {
+	lo := t.blockStarts[p.Rank()]
+	req := make([][]int32, p.Size())
+	where := make([][]int, p.Size()) // where[r][k] = position in globals
+	for i, g := range globals {
+		home := t.blockOf(int(g))
+		req[home] = append(req[home], g)
+		where[home] = append(where[home], i)
+	}
+	p.ComputeMem(len(globals))
+
+	bufs := make([][]byte, p.Size())
+	for r := range req {
+		bufs[r] = comm.EncodeI32(req[r])
+	}
+	incoming := p.AllToAll(bufs)
+
+	// Answer incoming requests from the local slab.
+	replies := make([][]byte, p.Size())
+	for r, b := range incoming {
+		qs := comm.DecodeI32(b)
+		ans := make([]int32, 2*len(qs))
+		for k, g := range qs {
+			i := int(g) - lo
+			ans[2*k] = t.locOwners[i]
+			ans[2*k+1] = t.locOffsets[i]
+		}
+		p.ComputeMem(len(qs))
+		replies[r] = comm.EncodeI32(ans)
+	}
+	answered := p.AllToAll(replies)
+
+	out := make([]Entry, len(globals))
+	for r, b := range answered {
+		ans := comm.DecodeI32(b)
+		for k := range where[r] {
+			out[where[r][k]] = Entry{Owner: ans[2*k], Offset: ans[2*k+1]}
+		}
+	}
+	return out
+}
+
+// derefPaged fetches any missing pages from their home processors, caches
+// them, then resolves locally.
+func (t *Table) derefPaged(p *comm.Proc, globals []int32) []Entry {
+	// Determine missing pages.
+	need := map[int]bool{}
+	for _, g := range globals {
+		page := int(g) / t.pageSize
+		if _, ok := t.pageCache[page]; ok {
+			continue
+		}
+		if _, ok := t.homePages[page]; ok && (page%p.Size()) == p.Rank() {
+			continue
+		}
+		need[page] = true
+	}
+	p.ComputeMem(len(globals))
+
+	req := make([][]int32, p.Size())
+	for page := range need {
+		home := page % p.Size()
+		req[home] = append(req[home], int32(page))
+	}
+	for r := range req {
+		sort.Slice(req[r], func(i, j int) bool { return req[r][i] < req[r][j] })
+	}
+	bufs := make([][]byte, p.Size())
+	for r := range req {
+		bufs[r] = comm.EncodeI32(req[r])
+	}
+	incoming := p.AllToAll(bufs)
+
+	// Serve pages: reply is a sequence of (page, size, owner..., offset...).
+	replies := make([][]byte, p.Size())
+	for r, b := range incoming {
+		var out []int32
+		for _, pg := range comm.DecodeI32(b) {
+			ents := t.homePages[int(pg)]
+			out = append(out, pg, int32(len(ents)))
+			for _, e := range ents {
+				out = append(out, e.Owner)
+			}
+			for _, e := range ents {
+				out = append(out, e.Offset)
+			}
+		}
+		replies[r] = comm.EncodeI32(out)
+	}
+	served := p.AllToAll(replies)
+	for _, b := range served {
+		recs := comm.DecodeI32(b)
+		for i := 0; i < len(recs); {
+			page := int(recs[i])
+			size := int(recs[i+1])
+			i += 2
+			ents := make([]Entry, size)
+			for k := 0; k < size; k++ {
+				ents[k] = Entry{Owner: recs[i+k], Offset: recs[i+size+k]}
+			}
+			i += 2 * size
+			t.pageCache[page] = ents
+		}
+	}
+
+	out := make([]Entry, len(globals))
+	for i, g := range globals {
+		page := int(g) / t.pageSize
+		ents, ok := t.pageCache[page]
+		if !ok {
+			ents = t.homePages[page]
+		}
+		out[i] = ents[int(g)%t.pageSize]
+	}
+	p.ComputeMem(len(globals))
+	return out
+}
+
+// CachedPages returns how many remote pages a Paged table has cached (0 for
+// other kinds). Exposed for tests and ablation benchmarks.
+func (t *Table) CachedPages() int { return len(t.pageCache) }
+
+// OwnerOf returns the owner of global g. Only valid for Replicated tables;
+// other kinds require the collective Dereference.
+func (t *Table) OwnerOf(g int) int32 {
+	if t.kind != Replicated {
+		panic("ttable: OwnerOf requires a replicated table")
+	}
+	return t.owners[g]
+}
+
+// OffsetOf returns the local offset of global g on its owner. Only valid
+// for Replicated tables.
+func (t *Table) OffsetOf(g int) int32 {
+	if t.kind != Replicated {
+		panic("ttable: OffsetOf requires a replicated table")
+	}
+	return t.offsets[g]
+}
