@@ -9,10 +9,20 @@
 //	chaosnode -rank 0 -addrs 127.0.0.1:9310,127.0.0.1:9311 &
 //	chaosnode -rank 1 -addrs 127.0.0.1:9310,127.0.0.1:9311 &
 //
-// Every process runs the Figure 1 irregular loop through the full CHAOS
-// pipeline (block distribution, inspector with stamped hash table, merged
-// schedule, gather/compute/scatter-add executor) and validates its owned
-// section against the sequential loop. Rank 0 prints the global outcome.
+// By default every process runs the Figure 1 irregular loop through the
+// full CHAOS pipeline (block distribution, inspector with stamped hash
+// table, merged schedule, gather/compute/scatter-add executor) and
+// validates its owned section against the sequential loop. With -app
+// charmm or -app dsmc the processes instead run the mini-applications,
+// including periodic checkpointing and restart:
+//
+//	chaosnode -rank R -addrs ... -app dsmc -ckpt-dir /tmp/ck -ckpt-every 4
+//	chaosnode -rank R -addrs ... -app dsmc -ckpt-dir /tmp/ck -resume latest
+//
+// The restart may use a different number of processes than the run that
+// wrote the checkpoint (elastic restart); a rank killed mid-run surfaces
+// as a PeerFailure on the survivors, which then restart from the last
+// sealed checkpoint. Rank 0 prints the global outcome.
 package main
 
 import (
@@ -23,9 +33,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/charmm"
+	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/dsmc"
 	"repro/internal/partition"
 	"repro/internal/schedule"
 )
@@ -33,15 +46,26 @@ import (
 func main() {
 	rank := flag.Int("rank", -1, "this process's rank")
 	addrList := flag.String("addrs", "", "comma-separated listen addresses, one per rank")
-	elems := flag.Int("elems", 4000, "data array length")
-	iters := flag.Int("iters", 12000, "irregular loop iterations")
+	app := flag.String("app", "fig1", "computation: fig1 (Figure 1 loop), charmm, dsmc")
+	elems := flag.Int("elems", 4000, "fig1 data array length / charmm atom count / dsmc molecule count")
+	iters := flag.Int("iters", 12000, "irregular loop iterations (fig1)")
+	steps := flag.Int("steps", 12, "time steps (charmm, dsmc)")
 	timeout := flag.Duration("timeout", 30*time.Second, "mesh connection timeout")
+	ckptDir := flag.String("ckpt-dir", "", "directory for periodic checkpoints (charmm, dsmc)")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint every N steps (0 = never)")
+	resume := flag.String("resume", "", `resume from a checkpoint directory, or "latest" under -ckpt-dir`)
+	crashStep := flag.Int("crash-step", 0, "inject a rank panic at step N (crash-recovery demo)")
+	crashRank := flag.Int("crash-rank", 0, "rank that crashes at -crash-step")
 	flag.Parse()
 
 	addrs := strings.Split(*addrList, ",")
 	n := len(addrs)
 	if *rank < 0 || *rank >= n || *addrList == "" {
 		fmt.Fprintln(os.Stderr, "chaosnode: need -rank in range and -addrs host:port,host:port,...")
+		os.Exit(2)
+	}
+	if *app == "fig1" && (*ckptEvery > 0 || *resume != "") {
+		fmt.Fprintln(os.Stderr, "chaosnode: checkpoint flags require -app charmm or -app dsmc")
 		os.Exit(2)
 	}
 	tr, err := comm.NewTCPEndpoint(*rank, addrs, *timeout)
@@ -51,28 +75,98 @@ func main() {
 	}
 	defer tr.Close()
 
-	// Deterministic shared problem: the Figure 1 loop.
-	ia := make([]int32, *iters)
-	ib := make([]int32, *iters)
-	for i := range ia {
-		ia[i] = int32((i*37 + 11) % *elems)
-		ib[i] = int32((i*61 + 29) % *elems)
+	resumeFrom := ""
+	if *resume != "" {
+		resumeFrom = *resume
+		if *resume == "latest" {
+			if *ckptDir == "" {
+				fmt.Fprintln(os.Stderr, "chaosnode: -resume latest requires -ckpt-dir")
+				os.Exit(2)
+			}
+			dir, ok := checkpoint.Latest(*ckptDir)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "chaosnode: no sealed checkpoint under %s\n", *ckptDir)
+				os.Exit(2)
+			}
+			resumeFrom = dir
+		}
 	}
-	want := make([]float64, *elems)
-	for i := 0; i < *iters; i++ {
+
+	switch *app {
+	case "fig1":
+		runFig1(*rank, n, tr, *elems, *iters)
+	case "charmm":
+		cfg := charmm.ConfigForAtoms(*elems)
+		cfg.Steps = *steps
+		cfg.NBEvery = 3
+		cfg.CheckpointDir = *ckptDir
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.ResumeFrom = resumeFrom
+		cfg.CrashStep = *crashStep
+		cfg.CrashRank = *crashRank
+		clock, stats := comm.RunRank(*rank, n, costmodel.IPSC860(), tr, func(p *comm.Proc) {
+			res := charmm.Run(p, cfg)
+			if p.Rank() == 0 {
+				fmt.Printf("chaosnode: charmm %d atoms, %d steps: checksum %.9f\n",
+					cfg.NAtoms, cfg.Steps, res.Checksum)
+			}
+			p.Barrier()
+		})
+		fmt.Printf("chaosnode: rank %d done: virtual %.4fs, sent %d msgs / %d bytes\n",
+			*rank, clock, stats.MsgsSent, stats.BytesSent)
+	case "dsmc":
+		cfg := dsmc.Default2D(24)
+		cfg.NMols = *elems
+		cfg.Steps = *steps
+		cfg.RemapEvery = 4
+		cfg.Partitioner = "rcb"
+		cfg.InitSlabFrac = 0.5
+		cfg.CheckpointDir = *ckptDir
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.ResumeFrom = resumeFrom
+		cfg.CrashStep = *crashStep
+		cfg.CrashRank = *crashRank
+		clock, stats := comm.RunRank(*rank, n, costmodel.IPSC860(), tr, func(p *comm.Proc) {
+			res := dsmc.Run(p, cfg)
+			if p.Rank() == 0 {
+				fmt.Printf("chaosnode: dsmc %d molecules, %d steps: checksum %.9f\n",
+					cfg.NMols, cfg.Steps, res.Checksum)
+			}
+			p.Barrier()
+		})
+		fmt.Printf("chaosnode: rank %d done: virtual %.4fs, sent %d msgs / %d bytes\n",
+			*rank, clock, stats.MsgsSent, stats.BytesSent)
+	default:
+		fmt.Fprintf(os.Stderr, "chaosnode: unknown -app %q (valid: fig1, charmm, dsmc)\n", *app)
+		os.Exit(2)
+	}
+}
+
+// runFig1 runs the Figure 1 irregular loop and validates the owned section
+// of the result against the sequential loop.
+func runFig1(rank, n int, tr comm.Transport, elems, iters int) {
+	// Deterministic shared problem: the Figure 1 loop.
+	ia := make([]int32, iters)
+	ib := make([]int32, iters)
+	for i := range ia {
+		ia[i] = int32((i*37 + 11) % elems)
+		ib[i] = int32((i*61 + 29) % elems)
+	}
+	want := make([]float64, elems)
+	for i := 0; i < iters; i++ {
 		want[ia[i]] += float64(ib[i]) * 0.5
 	}
 
 	maxErr := 0.0
-	clock, stats := comm.RunRank(*rank, n, costmodel.IPSC860(), tr, func(p *comm.Proc) {
+	clock, stats := comm.RunRank(rank, n, costmodel.IPSC860(), tr, func(p *comm.Proc) {
 		rt := core.NewRuntime(p)
-		d := rt.BlockDist(*elems)
+		d := rt.BlockDist(elems)
 		x := make([]float64, d.NLocal())
 		y := make([]float64, d.NLocal())
 		for i, g := range d.Globals() {
 			y[i] = float64(g) * 0.5
 		}
-		lo, hi := partition.BlockRange(p.Rank(), *iters, n)
+		lo, hi := partition.BlockRange(p.Rank(), iters, n)
 		ht := d.NewHashTable()
 		sa, sb := ht.NewStamp(), ht.NewStamp()
 		la := ht.Hash(ia[lo:hi], sa)
@@ -96,7 +190,7 @@ func main() {
 		}
 		worst := p.AllReduceScalarF64(comm.OpMax, maxErr)
 		if p.Rank() == 0 {
-			fmt.Printf("chaosnode: %d ranks (one OS process each), %d elems, %d iters\n", n, *elems, *iters)
+			fmt.Printf("chaosnode: %d ranks (one OS process each), %d elems, %d iters\n", n, elems, iters)
 			fmt.Printf("chaosnode: global max |error| vs sequential loop = %.2e\n", worst)
 			if worst > 1e-9 {
 				fmt.Println("chaosnode: RESULT MISMATCH")
@@ -107,7 +201,7 @@ func main() {
 		p.Barrier()
 	})
 	fmt.Printf("chaosnode: rank %d done: virtual %.4fs, sent %d msgs / %d bytes\n",
-		*rank, clock, stats.MsgsSent, stats.BytesSent)
+		rank, clock, stats.MsgsSent, stats.BytesSent)
 	if maxErr > 1e-9 {
 		os.Exit(1)
 	}

@@ -5,20 +5,45 @@
 // Usage:
 //
 //	charmm [-procs N] [-atoms N] [-steps N] [-nbevery N] [-part rcb|rib|chain|block]
-//	       [-multiple] [-remap N]
+//	       [-multiple] [-remap N] [-ckpt-dir DIR -ckpt-every N] [-resume DIR|latest]
+//
+// With -ckpt-dir and -ckpt-every the run writes periodic checkpoints;
+// -resume continues from a checkpoint directory (or the latest sealed one
+// under -ckpt-dir), at the same processor count for a bit-identical
+// continuation or at a different one for an elastic restart.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 
 	"repro/internal/charmm"
+	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/trace"
 )
+
+// resolveResume turns the -resume argument into a checkpoint directory,
+// resolving the special value "latest" against -ckpt-dir.
+func resolveResume(arg, base string) string {
+	if arg != "latest" {
+		return arg
+	}
+	if base == "" {
+		fmt.Fprintln(os.Stderr, "charmm: -resume latest requires -ckpt-dir")
+		os.Exit(2)
+	}
+	dir, ok := checkpoint.Latest(base)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "charmm: no sealed checkpoint under %s\n", base)
+		os.Exit(2)
+	}
+	return dir
+}
 
 func main() {
 	procs := flag.Int("procs", 16, "number of simulated processors")
@@ -30,6 +55,11 @@ func main() {
 	remapEvery := flag.Int("remap", 0, "repartition every N steps (0 = once at start)")
 	doTrace := flag.Bool("trace", false, "print a virtual-time Gantt chart and phase summary")
 	compiled := flag.Bool("compiled", false, "run the compiler-generated (loopir) version of the application")
+	ckptDir := flag.String("ckpt-dir", "", "directory for periodic checkpoints")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint every N steps (0 = never)")
+	resume := flag.String("resume", "", `resume from a checkpoint directory, or "latest" under -ckpt-dir`)
+	crashStep := flag.Int("crash-step", 0, "inject a rank panic at step N (crash-recovery demo)")
+	crashRank := flag.Int("crash-rank", 0, "rank that crashes at -crash-step")
 	flag.Parse()
 
 	cfg := charmm.ConfigForAtoms(*atoms)
@@ -38,9 +68,20 @@ func main() {
 	cfg.Partitioner = *part
 	cfg.Merged = !*multiple
 	cfg.RemapEvery = *remapEvery
+	cfg.CheckpointDir = *ckptDir
+	cfg.CheckpointEvery = *ckptEvery
+	cfg.CrashStep = *crashStep
+	cfg.CrashRank = *crashRank
+	if *resume != "" {
+		cfg.ResumeFrom = resolveResume(*resume, *ckptDir)
+	}
 
 	runner := charmm.Run
 	if *compiled {
+		if *ckptEvery > 0 || *resume != "" {
+			fmt.Fprintln(os.Stderr, "charmm: checkpointing is not supported for the -compiled variant")
+			os.Exit(2)
+		}
 		runner = charmm.RunCompiled
 	}
 	results := make([]*charmm.ProcResult, *procs)

@@ -6,19 +6,45 @@
 //
 //	dsmc [-procs N] [-nx N -ny N -nz N] [-mols N] [-steps N]
 //	     [-mover light|regular|compiler] [-part block|rcb|rib|chain] [-remap N]
+//	     [-ckpt-dir DIR -ckpt-every N] [-resume DIR|latest]
+//
+// With -ckpt-dir and -ckpt-every the run writes periodic checkpoints;
+// -resume continues from a checkpoint directory (or the latest sealed one
+// under -ckpt-dir), at the same processor count for a bit-identical
+// continuation or at a different one for an elastic restart.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/dsmc"
 	"repro/internal/trace"
 )
+
+// resolveResume turns the -resume argument into a checkpoint directory,
+// resolving the special value "latest" against -ckpt-dir.
+func resolveResume(arg, base string) string {
+	if arg != "latest" {
+		return arg
+	}
+	if base == "" {
+		fmt.Fprintln(os.Stderr, "dsmc: -resume latest requires -ckpt-dir")
+		os.Exit(2)
+	}
+	dir, ok := checkpoint.Latest(base)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dsmc: no sealed checkpoint under %s\n", base)
+		os.Exit(2)
+	}
+	return dir
+}
 
 func main() {
 	procs := flag.Int("procs", 16, "number of simulated processors")
@@ -32,6 +58,11 @@ func main() {
 	remapEvery := flag.Int("remap", 0, "remap cells every N steps (0 = static)")
 	slab := flag.Float64("slab", 1.0, "initial x-extent fraction holding all molecules")
 	doTrace := flag.Bool("trace", false, "print a virtual-time Gantt chart and phase summary")
+	ckptDir := flag.String("ckpt-dir", "", "directory for periodic checkpoints")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint every N steps (0 = never)")
+	resume := flag.String("resume", "", `resume from a checkpoint directory, or "latest" under -ckpt-dir`)
+	crashStep := flag.Int("crash-step", 0, "inject a rank panic at step N (crash-recovery demo)")
+	crashRank := flag.Int("crash-rank", 0, "rank that crashes at -crash-step")
 	flag.Parse()
 
 	cfg := dsmc.Default2D(*nx)
@@ -51,6 +82,13 @@ func main() {
 	cfg.Partitioner = *part
 	cfg.RemapEvery = *remapEvery
 	cfg.InitSlabFrac = *slab
+	cfg.CheckpointDir = *ckptDir
+	cfg.CheckpointEvery = *ckptEvery
+	cfg.CrashStep = *crashStep
+	cfg.CrashRank = *crashRank
+	if *resume != "" {
+		cfg.ResumeFrom = resolveResume(*resume, *ckptDir)
+	}
 
 	results := make([]*dsmc.ProcResult, *procs)
 	rep := comm.Run(*procs, costmodel.IPSC860(), func(p *comm.Proc) {

@@ -24,7 +24,16 @@ func main() {
 	quick := flag.Bool("quick", false, "use the shrunken quick scale")
 	table := flag.Int("table", 0, "run only table N (1-7); 0 = all")
 	markdown := flag.Bool("markdown", false, "emit markdown output")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-markdown]\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "tables: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	sc := bench.Full()
 	if *quick {
@@ -38,6 +47,7 @@ func main() {
 	if *table != 0 {
 		if _, ok := funcs[*table]; !ok {
 			fmt.Fprintf(os.Stderr, "tables: no table %d (valid: 1-7)\n", *table)
+			flag.Usage()
 			os.Exit(2)
 		}
 		ids = []int{*table}

@@ -52,6 +52,22 @@ type Config struct {
 	// TableKind selects translation-table storage: "replicated" (default,
 	// as the paper used for CHARMM), "distributed" or "paged" (§3.1).
 	TableKind string
+	// CheckpointEvery, when positive, writes a checkpoint of the full
+	// distributed state under CheckpointDir every CheckpointEvery steps.
+	CheckpointEvery int
+	// CheckpointDir is the base directory checkpoints are written under.
+	CheckpointDir string
+	// ResumeFrom, when non-empty, restores from the given checkpoint
+	// directory instead of generating the initial condition, then continues
+	// from the saved step. The run may use a different processor count than
+	// the one that wrote the checkpoint (elastic restart); with the same
+	// count the continuation is bit-identical to an uninterrupted run.
+	ResumeFrom string
+	// CrashStep, when positive, makes rank CrashRank panic at the start of
+	// that step — fault injection for crash-recovery tests and demos.
+	CrashStep int
+	// CrashRank selects the rank that crashes at CrashStep.
+	CrashRank int
 }
 
 // DefaultConfig returns the benchmark configuration: 14026 atoms in a box

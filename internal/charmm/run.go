@@ -26,6 +26,7 @@ const (
 	PhaseSchedGen   = "schedgen"
 	PhaseSchedRegen = "schedregen"
 	PhaseExecutor   = "executor"
+	PhaseCheckpoint = "checkpoint"
 )
 
 // ProcResult is one rank's outcome of a parallel CHARMM run. Phase times
@@ -60,8 +61,29 @@ type simState struct {
 // Run executes the parallel CHARMM simulation on one SPMD rank. Collective:
 // every rank of the communicator must call it with the same configuration.
 func Run(p *comm.Proc, cfg Config) *ProcResult {
+	res, _ := run(p, cfg)
+	return res
+}
+
+// FinalState is one rank's final owned atom state, for validation.
+type FinalState struct {
+	Globals  []int32
+	Pos, Vel []float64 // 3-wide, local order
+}
+
+// RunKeepState is Run but also returns this rank's final owned atoms (for
+// bit-exactness checks across checkpoint/restore).
+func RunKeepState(p *comm.Proc, cfg Config) (*ProcResult, *FinalState) {
+	res, s := run(p, cfg)
+	return res, &FinalState{
+		Globals: append([]int32(nil), s.atoms.Globals()...),
+		Pos:     append([]float64(nil), s.pos...),
+		Vel:     append([]float64(nil), s.vel...),
+	}
+}
+
+func run(p *comm.Proc, cfg Config) (*ProcResult, *simState) {
 	validate(cfg)
-	init := GenInitState(cfg)
 	rt := core.NewRuntime(p)
 	switch cfg.TableKind {
 	case "", "replicated":
@@ -75,6 +97,71 @@ func Run(p *comm.Proc, cfg Config) *ProcResult {
 	}
 	timer := core.NewPhaseTimer(p)
 
+	var s *simState
+	startStep, remapCount := 0, 0
+	if cfg.ResumeFrom != "" {
+		s, startStep, remapCount = resume(p, rt, cfg, timer)
+	} else {
+		s = setup(p, rt, cfg, timer)
+	}
+
+	for step := startStep + 1; step <= cfg.Steps; step++ {
+		if cfg.CrashStep > 0 && step == cfg.CrashStep && p.Rank() == cfg.CrashRank {
+			panic(fmt.Sprintf("charmm: injected crash on rank %d at step %d", p.Rank(), step))
+		}
+		if cfg.RemapEvery > 0 && step%cfg.RemapEvery == 0 {
+			part := cfg.Partitioner
+			if cfg.AlternatePartitioners && remapCount%2 == 1 {
+				part = alternateOf(cfg.Partitioner)
+			}
+			remapCount++
+			repartition(p, s, part, timer)
+			s.ptr, s.jnb = buildNBListPar(p, s.atoms.Globals(), s.pos, cfg)
+			p.Barrier()
+			timer.Mark(PhaseNBUpdate)
+			buildInspector(p, s, cfg)
+			p.Barrier()
+			timer.Mark(PhaseSchedRegen)
+		} else if step%cfg.NBEvery == 0 {
+			// Adaptive phase: the non-bonded list changes; index analysis
+			// for unchanged indices is reused via the hash table.
+			s.ptr, s.jnb = buildNBListPar(p, s.atoms.Globals(), s.pos, cfg)
+			p.Barrier()
+			timer.Mark(PhaseNBUpdate)
+			s.ht.ClearStamp(s.sNB)
+			s.locJnb = s.ht.Hash(s.jnb, s.sNB)
+			rebuildSchedules(p, s, cfg)
+			p.Barrier()
+			timer.Mark(PhaseSchedRegen)
+		}
+		executeStep(p, s, cfg)
+		timer.Mark(PhaseExecutor)
+		if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
+			saveCheckpoint(p, s, cfg, step, remapCount)
+			timer.Mark(PhaseCheckpoint)
+		}
+	}
+
+	res := &ProcResult{Phases: timer.Times, PhaseStats: timer.Stats, Spans: timer.Spans()}
+	// Global checksum: mean absolute coordinate.
+	sum := 0.0
+	for _, v := range s.pos {
+		if v < 0 {
+			sum -= v
+		} else {
+			sum += v
+		}
+	}
+	tot := p.AllReduceF64(comm.OpSum, []float64{sum, float64(len(s.pos))})
+	res.Checksum = tot[0] / tot[1]
+	res.NBEntries = p.AllReduceScalarI64(comm.OpSum, int64(len(s.jnb)))
+	return res, s
+}
+
+// setup generates the initial condition and runs the full preprocessing
+// pipeline (initial list, phases A-E) for a fresh run.
+func setup(p *comm.Proc, rt *core.Runtime, cfg Config, timer *core.PhaseTimer) *simState {
+	init := GenInitState(cfg)
 	s := &simState{atoms: rt.BlockDist(cfg.NAtoms)}
 	// Local slabs of the initial condition.
 	lo, hi := partition.BlockRange(p.Rank(), cfg.NAtoms, p.Size())
@@ -106,52 +193,7 @@ func Run(p *comm.Proc, cfg Config) *ProcResult {
 	buildInspector(p, s, cfg)
 	p.Barrier()
 	timer.Mark(PhaseSchedGen)
-
-	remapCount := 0
-	for step := 1; step <= cfg.Steps; step++ {
-		if cfg.RemapEvery > 0 && step%cfg.RemapEvery == 0 {
-			part := cfg.Partitioner
-			if cfg.AlternatePartitioners && remapCount%2 == 1 {
-				part = alternateOf(cfg.Partitioner)
-			}
-			remapCount++
-			repartition(p, s, part, timer)
-			s.ptr, s.jnb = buildNBListPar(p, s.atoms.Globals(), s.pos, cfg)
-			p.Barrier()
-			timer.Mark(PhaseNBUpdate)
-			buildInspector(p, s, cfg)
-			p.Barrier()
-			timer.Mark(PhaseSchedRegen)
-		} else if step%cfg.NBEvery == 0 {
-			// Adaptive phase: the non-bonded list changes; index analysis
-			// for unchanged indices is reused via the hash table.
-			s.ptr, s.jnb = buildNBListPar(p, s.atoms.Globals(), s.pos, cfg)
-			p.Barrier()
-			timer.Mark(PhaseNBUpdate)
-			s.ht.ClearStamp(s.sNB)
-			s.locJnb = s.ht.Hash(s.jnb, s.sNB)
-			rebuildSchedules(p, s, cfg)
-			p.Barrier()
-			timer.Mark(PhaseSchedRegen)
-		}
-		executeStep(p, s, cfg)
-		timer.Mark(PhaseExecutor)
-	}
-
-	res := &ProcResult{Phases: timer.Times, PhaseStats: timer.Stats, Spans: timer.Spans()}
-	// Global checksum: mean absolute coordinate.
-	sum := 0.0
-	for _, v := range s.pos {
-		if v < 0 {
-			sum -= v
-		} else {
-			sum += v
-		}
-	}
-	tot := p.AllReduceF64(comm.OpSum, []float64{sum, float64(len(s.pos))})
-	res.Checksum = tot[0] / tot[1]
-	res.NBEntries = p.AllReduceScalarI64(comm.OpSum, int64(len(s.jnb)))
-	return res
+	return s
 }
 
 func validate(cfg Config) {
@@ -162,6 +204,9 @@ func validate(cfg Config) {
 	case "block", "rcb", "rib", "chain":
 	default:
 		panic("charmm: unknown partitioner " + cfg.Partitioner)
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" {
+		panic("charmm: CheckpointEvery set without CheckpointDir")
 	}
 }
 
@@ -243,10 +288,17 @@ func atomOwners(p *comm.Proc, s *simState, part string) []int32 {
 	}
 }
 
-// buildInspector hashes the indirection arrays into a fresh hash table and
-// builds the communication schedules.
+// buildInspector hashes the indirection arrays into a clean hash table and
+// builds the communication schedules. After a repartition or restore the
+// cached translations are stale, so an existing table is invalidated
+// (rebound to the new translation table, entries and stamps dropped) rather
+// than reused.
 func buildInspector(p *comm.Proc, s *simState, cfg Config) {
-	s.ht = s.atoms.NewHashTable()
+	if s.ht == nil {
+		s.ht = s.atoms.NewHashTable()
+	} else {
+		s.ht.Reset(s.atoms.TT())
+	}
 	s.sBond = s.ht.NewStamp()
 	s.sNB = s.ht.NewStamp()
 	s.locBI = s.ht.Hash(s.bondI, s.sBond)

@@ -1,0 +1,64 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds returns valid images plus a few hand-corrupted variants so the
+// fuzzer starts near the interesting boundaries.
+func fuzzSeeds(img []byte) [][]byte {
+	seeds := [][]byte{img, nil, []byte("CHAOSCK1"), bytes.Repeat([]byte{0xff}, 64)}
+	if len(img) > 4 {
+		seeds = append(seeds, img[:len(img)/2], img[:len(img)-1])
+		mut := append([]byte(nil), img...)
+		mut[len(mut)/2] ^= 0x40
+		seeds = append(seeds, mut)
+	}
+	return seeds
+}
+
+// FuzzShard asserts DecodeShard never panics: truncated, bit-flipped or
+// arbitrary inputs must return errors, and accepted inputs must re-encode
+// to the identical image (the container has a canonical form).
+func FuzzShard(f *testing.F) {
+	for _, s := range fuzzSeeds(EncodeShard(sampleSnapshot())) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("DecodeShard panicked: %v", r)
+			}
+		}()
+		s, err := DecodeShard(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeShard(s), data) {
+			t.Fatalf("accepted image does not re-encode canonically")
+		}
+	})
+}
+
+// FuzzManifest asserts DecodeManifest never panics on malformed input.
+func FuzzManifest(f *testing.F) {
+	img := EncodeManifest(&Manifest{App: "charmm", NRanks: 2, Step: 50, N: 100, ShardCRCs: []uint32{1, 2}})
+	for _, s := range fuzzSeeds(img) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("DecodeManifest panicked: %v", r)
+			}
+		}()
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeManifest(m), data) {
+			t.Fatalf("accepted manifest does not re-encode canonically")
+		}
+	})
+}

@@ -79,6 +79,17 @@ func (p *Proc) Clock() float64 { return p.clock }
 // Stats returns a copy of the accumulated statistics.
 func (p *Proc) Stats() Stats { return p.stats }
 
+// RestoreClock fast-forwards the virtual clock to c (it must not move
+// backwards) without charging the jump to compute or communication time.
+// Checkpoint restore uses this so a resumed run continues the saved run's
+// virtual timeline.
+func (p *Proc) RestoreClock(c float64) {
+	if c < p.clock {
+		panic(fmt.Sprintf("comm: RestoreClock to %g would move clock backwards from %g", c, p.clock))
+	}
+	p.clock = c
+}
+
 // Compute advances the virtual clock by cost seconds of application work.
 func (p *Proc) Compute(cost float64) {
 	if cost < 0 {

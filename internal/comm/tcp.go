@@ -130,6 +130,11 @@ func (t *TCPTransport) attach(peer int, conn net.Conn) {
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
+		// When the connection drops (peer process crashed or closed), poison
+		// the peer's mailbox so a rank blocked in Recv panics PeerFailure
+		// instead of hanging. Messages the peer sent before dying were
+		// enqueued by this same goroutine first, so none are lost.
+		defer t.boxes[peer].poison()
 		r := bufio.NewReader(conn)
 		for {
 			var hdr [20]byte

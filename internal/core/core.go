@@ -80,6 +80,25 @@ func (rt *Runtime) DistFromOwners(slab []int32, myGlobals []int32) *Dist {
 	return &Dist{rt: rt, tt: ttable.Build(rt.P, rt.TableKind, slab), globals: myGlobals}
 }
 
+// DistFromGlobals rebuilds a distribution in which the calling processor
+// owns exactly the given globals (which must be in ascending order, the
+// local layout convention) out of an n-element index space. Checkpoint
+// restore uses this to reconstruct the saved owner map from each rank's
+// shard. Collective.
+func (rt *Runtime) DistFromGlobals(globals []int32, n int) *Dist {
+	for i := 1; i < len(globals); i++ {
+		if globals[i] <= globals[i-1] {
+			panic(fmt.Sprintf("core: DistFromGlobals needs ascending globals (got %d after %d)", globals[i], globals[i-1]))
+		}
+	}
+	owners := make([]int32, len(globals))
+	for i := range owners {
+		owners[i] = int32(rt.P.Rank())
+	}
+	slab := remap.BlockMap(rt.P, globals, owners, n)
+	return &Dist{rt: rt, tt: ttable.Build(rt.P, rt.TableKind, slab), globals: append([]int32(nil), globals...)}
+}
+
 // Runtime returns the owning runtime.
 func (d *Dist) Runtime() *Runtime { return d.rt }
 

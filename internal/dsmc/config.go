@@ -72,6 +72,21 @@ type Config struct {
 	// substantially more work per molecule (3-D cross sections, more
 	// collision candidates), which Default3D reflects.
 	CollideFlops int
+	// CheckpointEvery, when positive, writes a checkpoint of the full
+	// distributed state under CheckpointDir every CheckpointEvery steps.
+	CheckpointEvery int
+	// CheckpointDir is the base directory checkpoints are written under.
+	CheckpointDir string
+	// ResumeFrom, when non-empty, restores from the given checkpoint
+	// directory instead of generating molecules, then continues from the
+	// saved step. The run may use a different processor count than the one
+	// that wrote the checkpoint (elastic restart).
+	ResumeFrom string
+	// CrashStep, when positive, makes rank CrashRank panic at the start of
+	// that step — fault injection for crash-recovery tests and demos.
+	CrashStep int
+	// CrashRank selects the rank that crashes at CrashStep.
+	CrashRank int
 }
 
 // collideCost returns the effective per-molecule collision flops.
@@ -103,6 +118,9 @@ func (c Config) Validate() {
 	}
 	if c.Sigma <= 0 {
 		panic("dsmc: Sigma must be positive")
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
+		panic("dsmc: CheckpointEvery set without CheckpointDir")
 	}
 }
 

@@ -13,10 +13,11 @@ import (
 
 // Phase keys in ProcResult.Phases.
 const (
-	PhaseMove      = "move"
-	PhaseCollide   = "collide"
-	PhasePartition = "partition"
-	PhaseRemap     = "remap"
+	PhaseMove       = "move"
+	PhaseCollide    = "collide"
+	PhasePartition  = "partition"
+	PhaseRemap      = "remap"
+	PhaseCheckpoint = "checkpoint"
 )
 
 // ProcResult is one rank's outcome of a parallel DSMC run. Checksum is
@@ -47,27 +48,36 @@ func RunKeepMols(p *comm.Proc, cfg Config) []float64 {
 func run(p *comm.Proc, cfg Config) (*ProcResult, []float64) {
 	cfg.Validate()
 	rt := core.NewRuntime(p)
-	cells := rt.BlockDist(cfg.NCells())
 	timer := core.NewPhaseTimer(p)
 
-	// Each rank keeps the molecules whose cell it owns.
-	all := GenMolecules(cfg)
+	var cells *core.Dist
 	var mols []float64
-	for i := 0; i < cfg.NMols; i++ {
-		rec := all[i*recordWidth : (i+1)*recordWidth]
-		c := CellOf(&cfg, rec)
-		if int(cells.TT().OwnerOf(c)) == p.Rank() {
-			mols = append(mols, rec...)
+	startStep := 0
+	if cfg.ResumeFrom != "" {
+		cells, mols, startStep = resume(p, rt, &cfg, timer)
+	} else {
+		cells = rt.BlockDist(cfg.NCells())
+		// Each rank keeps the molecules whose cell it owns.
+		all := GenMolecules(cfg)
+		for i := 0; i < cfg.NMols; i++ {
+			rec := all[i*recordWidth : (i+1)*recordWidth]
+			c := CellOf(&cfg, rec)
+			if int(cells.TT().OwnerOf(c)) == p.Rank() {
+				mols = append(mols, rec...)
+			}
+		}
+		timer.Skip() // setup is not measured
+
+		// Remapping policies partition once before the run as well.
+		if cfg.RemapEvery > 0 && cfg.Partitioner != "block" {
+			cells, mols = remapCells(p, &cfg, cells, mols, timer)
 		}
 	}
-	timer.Skip() // setup is not measured
 
-	// Remapping policies partition once before the run as well.
-	if cfg.RemapEvery > 0 && cfg.Partitioner != "block" {
-		cells, mols = remapCells(p, &cfg, cells, mols, timer)
-	}
-
-	for step := 1; step <= cfg.Steps; step++ {
+	for step := startStep + 1; step <= cfg.Steps; step++ {
+		if cfg.CrashStep > 0 && step == cfg.CrashStep && p.Rank() == cfg.CrashRank {
+			panic(fmt.Sprintf("dsmc: injected crash on rank %d at step %d", p.Rank(), step))
+		}
 		switch cfg.Mover {
 		case MoverLight:
 			mols = moveLight(p, &cfg, cells, mols)
@@ -83,6 +93,10 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, []float64) {
 
 		if cfg.RemapEvery > 0 && step%cfg.RemapEvery == 0 && step < cfg.Steps {
 			cells, mols = remapCells(p, &cfg, cells, mols, timer)
+		}
+		if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
+			saveCheckpoint(p, &cfg, cells, mols, step)
+			timer.Mark(PhaseCheckpoint)
 		}
 	}
 

@@ -76,6 +76,19 @@ func New(p *comm.Proc, tt *ttable.Table) *Table {
 	}
 }
 
+// Reset rebinds the table to a new translation table (a new distribution)
+// and drops every cached entry, ghost slot and stamp. After a checkpoint
+// restore or repartition the cached (owner, offset) translations are stale,
+// so the inspector must rebuild from a clean table rather than reuse them.
+func (t *Table) Reset(tt *ttable.Table) {
+	t.tt = tt
+	t.nLocal = tt.NLocal(t.p.Rank())
+	t.idx = make(map[int32]int32)
+	t.entries = nil
+	t.nGhosts = 0
+	t.nextStamp = 0
+}
+
 // NewStamp returns a fresh stamp bit. It panics after 64 stamps; use
 // ClearStamp and reuse stamps in adaptive codes, as the paper does for the
 // CHARMM non-bonded list.
