@@ -181,6 +181,7 @@ func runFig1(rank, n int, tr comm.Transport, elems, iters int) {
 		for k := range la {
 			acc[la[k]] += buf[lb[k]]
 		}
+		p.ComputeFlops(len(la))
 		schedule.Scatter(p, sched, acc, schedule.OpAdd)
 
 		for i, g := range d.Globals() {

@@ -1,0 +1,95 @@
+// Command chaosvet is a vet-style driver for the CHAOS/SPMD invariant
+// analyzers in internal/analyze. It loads the module's packages with the
+// standard library only (go/parser + go/types; no go/packages dependency)
+// and reports protocol violations: rank-guarded collectives, uncharged
+// irregular loops, stale inspector stamps and schedules, unmatched message
+// tags, nondeterminism sources, and dropped comm/checkpoint errors.
+//
+// Usage:
+//
+//	chaosvet [-json] [-only a,b] [-list] [packages]
+//
+// Packages are directories or dir/... patterns (default ./...). Exit code
+// is 0 when clean, 1 when violations are found, 2 on usage or load errors.
+//
+// Suppress a finding with a comment on the offending line or the line
+// directly above:
+//
+//	// chaosvet:ignore <analyzer>[,<analyzer>...] [reason]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analyze"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: chaosvet [-json] [-only a,b] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analyze.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*analyze.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "chaosvet: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analyze.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analyze.Run(loader.Fset, pkgs, analyzers)
+	if *jsonOut {
+		if err := analyze.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "chaosvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) == 0 {
+			fmt.Printf("chaosvet: %d packages clean (%d analyzers)\n", len(pkgs), len(analyzers))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	tables [-quick] [-table N] [-markdown]
+//	tables [-quick] [-table N] [-markdown | -json]
 //
 // Without -table, all tables run. -quick uses the shrunken scale (seconds
 // instead of minutes of wall time). -markdown emits GitHub-flavoured
-// markdown instead of aligned text.
+// markdown instead of aligned text; -json emits newline-delimited JSON,
+// one record per table row, for downstream tooling.
 package main
 
 import (
@@ -24,13 +25,19 @@ func main() {
 	quick := flag.Bool("quick", false, "use the shrunken quick scale")
 	table := flag.Int("table", 0, "run only table N (1-7); 0 = all")
 	markdown := flag.Bool("markdown", false, "emit markdown output")
+	jsonOut := flag.Bool("json", false, "emit newline-delimited JSON, one record per table row")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-markdown]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-markdown | -json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "tables: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *markdown && *jsonOut {
+		fmt.Fprintln(os.Stderr, "tables: -markdown and -json are mutually exclusive")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -55,15 +62,24 @@ func main() {
 		ids = []int{1, 2, 3, 4, 5, 6, 7}
 	}
 
-	fmt.Printf("# CHAOS reproduction tables — scale=%s machine=%s\n\n", sc.Name, sc.Machine().Name)
+	if !*jsonOut {
+		fmt.Printf("# CHAOS reproduction tables — scale=%s machine=%s\n\n", sc.Name, sc.Machine().Name)
+	}
 	for _, id := range ids {
 		start := time.Now()
 		t := funcs[id](sc)
-		if *markdown {
+		switch {
+		case *jsonOut:
+			if err := t.WriteJSON(os.Stdout, sc.Name); err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+		case *markdown:
 			fmt.Print(t.Markdown())
-		} else {
+			fmt.Printf("  (regenerated in %.1fs wall)\n\n", time.Since(start).Seconds())
+		default:
 			fmt.Print(t.Render())
+			fmt.Printf("  (regenerated in %.1fs wall)\n\n", time.Since(start).Seconds())
 		}
-		fmt.Printf("  (regenerated in %.1fs wall)\n\n", time.Since(start).Seconds())
 	}
 }

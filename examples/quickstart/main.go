@@ -98,6 +98,7 @@ func main() {
 		for k := range locA {
 			acc[locA[k]] += buf[locB[k]]
 		}
+		p.ComputeFlops(len(locA))
 		schedule.Scatter(p, sched, acc, schedule.OpAdd)
 
 		// Validate the owned section against the sequential loop.

@@ -59,6 +59,7 @@ func run(tr comm.Transport) (*comm.Report, float64) {
 		for k := range la {
 			acc[la[k]] += buf[lb[k]]
 		}
+		p.ComputeFlops(len(la))
 		schedule.Scatter(p, sched, acc, schedule.OpAdd)
 		for i, g := range d.Globals() {
 			if e := math.Abs(acc[i] - want[g]); e > errs[p.Rank()] {

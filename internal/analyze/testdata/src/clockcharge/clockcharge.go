@@ -1,0 +1,43 @@
+// Package clockcharge is a chaosvet fixture for the clock-charge analyzer:
+// irregular executor loops that never charge the virtual clock.
+package clockcharge
+
+import "repro/internal/comm"
+
+// BadUnchargedExecutor is the paper's Figure 1 executor loop with the
+// ComputeFlops charge forgotten: the modeled clock never advances.
+func BadUnchargedExecutor(p *comm.Proc, x, y []float64, ia, ib []int32) {
+	for i := range ia { // want:clock-charge
+		x[ia[i]] += y[ib[i]]
+	}
+}
+
+// BadUnchargedCSR walks a CSR structure without charging.
+func BadUnchargedCSR(p *comm.Proc, val []float64, col []int32, xvec, yvec []float64) {
+	for j := range val { // want:clock-charge
+		yvec[0] += val[j] * xvec[col[j]]
+	}
+}
+
+// GoodChargedExecutor charges the executor work to the virtual clock.
+func GoodChargedExecutor(p *comm.Proc, x, y []float64, ia, ib []int32) {
+	for i := range ia {
+		x[ia[i]] += y[ib[i]]
+	}
+	p.ComputeFlops(len(ia))
+}
+
+// GoodPureHelper has no Proc: accounting is its caller's job.
+func GoodPureHelper(x, y []float64, ia []int32) {
+	for i := range ia {
+		x[ia[i]] += y[i]
+	}
+}
+
+// GoodRegularLoop does only regular accesses; the analyzer targets the
+// irregular idiom specifically.
+func GoodRegularLoop(p *comm.Proc, x []float64) {
+	for i := range x {
+		x[i] *= 2
+	}
+}

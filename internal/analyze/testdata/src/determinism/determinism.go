@@ -1,0 +1,73 @@
+// Package determinism is a chaosvet fixture for the determinism analyzer:
+// wall-clock reads, global math/rand draws, and map-range order leaking
+// into output.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// BadWallClock stamps payloads with host wall time: two identical runs
+// produce different bytes.
+func BadWallClock(p *comm.Proc) int64 {
+	return time.Now().UnixNano() // want:determinism
+}
+
+// BadGlobalRand draws from the shared unseeded source.
+func BadGlobalRand(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rand.Float64() // want:determinism
+	}
+	return out
+}
+
+// BadMapOrderPayload serializes a map in iteration order straight into a
+// message payload.
+func BadMapOrderPayload(p *comm.Proc, m map[int32]float64) []float64 {
+	var payload []float64
+	for k, v := range m { // want:determinism
+		payload = append(payload, float64(k), v)
+	}
+	return payload
+}
+
+// BadMapOrderRender writes table rows in map order.
+func BadMapOrderRender(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // want:determinism
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+// GoodSeededRand derives randomness from an explicit per-rank seed.
+func GoodSeededRand(p *comm.Proc, n int) []float64 {
+	rng := rand.New(rand.NewSource(int64(p.Rank()) + 1))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// GoodSortedMapRange canonicalizes map-derived output with a sort.
+func GoodSortedMapRange(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodVirtualClock reads the modeled clock, not the wall clock.
+func GoodVirtualClock(p *comm.Proc) float64 {
+	return p.Clock()
+}

@@ -1,0 +1,38 @@
+// Package errdrop is a chaosvet fixture for the unchecked-peerfailure
+// analyzer: comm/checkpoint errors silently discarded.
+package errdrop
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+)
+
+// BadDroppedClose discards the transport teardown error: a wedged peer
+// connection (the precursor to PeerFailure) is never surfaced.
+func BadDroppedClose(tr comm.Transport) {
+	tr.Close() // want:unchecked-peerfailure
+}
+
+// BadDroppedManifest drops the manifest write error: the checkpoint
+// directory is silently left unsealed and Restore will skip it.
+func BadDroppedManifest(dir string, m *checkpoint.Manifest) {
+	checkpoint.WriteManifest(dir, m) // want:unchecked-peerfailure
+}
+
+// GoodCheckedClose propagates the teardown error.
+func GoodCheckedClose(tr comm.Transport) error {
+	return tr.Close()
+}
+
+// GoodExplicitDiscard documents the decision to ignore the error.
+func GoodExplicitDiscard(tr comm.Transport) {
+	_ = tr.Close()
+}
+
+// GoodDeferredClose is idiomatic best-effort cleanup; defers are exempt.
+func GoodDeferredClose(tr comm.Transport) error {
+	defer tr.Close()
+	m, err := checkpoint.Open("/tmp/nonexistent")
+	_ = m
+	return err
+}

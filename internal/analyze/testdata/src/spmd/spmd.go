@@ -1,0 +1,74 @@
+// Package spmd is a chaosvet fixture for the spmd-collective analyzer:
+// collectives reachable only under rank-dependent conditions.
+package spmd
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+	"repro/internal/hashtab"
+	"repro/internal/schedule"
+)
+
+// BadGuardedBarrier deadlocks: only rank 0 enters the barrier.
+func BadGuardedBarrier(p *comm.Proc) {
+	if p.Rank() == 0 {
+		p.Barrier() // want:spmd-collective
+	}
+}
+
+// BadGuardedAllReduce reduces on a subset of ranks.
+func BadGuardedAllReduce(p *comm.Proc) float64 {
+	if p.Rank() < p.Size()/2 {
+		return p.AllReduceScalarF64(comm.OpSum, 1) // want:spmd-collective
+	}
+	return 0
+}
+
+// BadDerivedRankGuard guards through a variable derived from the rank.
+func BadDerivedRankGuard(p *comm.Proc) {
+	leader := p.Rank() == 0
+	if leader {
+		p.Broadcast(0, nil) // want:spmd-collective
+	}
+}
+
+// BadGuardedSave checkpoints on one rank only; Save is collective (CRC
+// AllGather + barrier), so the others hang.
+func BadGuardedSave(p *comm.Proc, snap *checkpoint.Snapshot) {
+	if p.Rank() == 0 {
+		checkpoint.Save(p, "/tmp/ckpt", "fixture", 1, 1, snap) // want:spmd-collective
+	}
+}
+
+// BadGuardedBuild builds a schedule under a rank guard inside an else
+// branch.
+func BadGuardedBuild(p *comm.Proc, ht *hashtab.Table, s hashtab.Stamp) *schedule.Schedule {
+	if p.Rank() != 0 {
+		return nil
+	} else {
+		return schedule.Build(p, ht, s, 0) // want:spmd-collective
+	}
+}
+
+// GoodUnguarded runs the same collective sequence on every rank.
+func GoodUnguarded(p *comm.Proc) float64 {
+	p.Barrier()
+	return p.AllReduceScalarF64(comm.OpMax, float64(p.Rank()))
+}
+
+// GoodRankGuardedPrint is the ubiquitous correct pattern: only the
+// rank-dependent part is non-collective.
+func GoodRankGuardedPrint(p *comm.Proc) []byte {
+	var buf []byte
+	if p.Rank() == 0 {
+		buf = []byte("hello")
+	}
+	return p.Broadcast(0, buf)
+}
+
+// GoodSizeGuard gates on the machine size, which is uniform across ranks.
+func GoodSizeGuard(p *comm.Proc) {
+	if p.Size() > 1 {
+		p.Barrier()
+	}
+}

@@ -1,0 +1,26 @@
+// Package suppressed is a chaosvet fixture for the suppression syntax:
+// every violation below carries a chaosvet:ignore directive, so a clean run
+// over this package must produce zero diagnostics.
+package suppressed
+
+import "repro/internal/comm"
+
+// TrailingDirective suppresses on the offending line itself.
+func TrailingDirective(p *comm.Proc) {
+	if p.Rank() == 0 {
+		p.Barrier() // chaosvet:ignore spmd-collective — fixture: deliberate single-rank barrier
+	}
+}
+
+// PrecedingDirective suppresses from the line directly above.
+func PrecedingDirective(p *comm.Proc, x, y []float64, ia []int32) {
+	// chaosvet:ignore clock-charge — fixture: charging handled by a caller
+	for i := range ia {
+		x[ia[i]] += y[i]
+	}
+}
+
+// BareDirective with no analyzer list silences everything on the line.
+func BareDirective(tr comm.Transport) {
+	tr.Close() // chaosvet:ignore
+}

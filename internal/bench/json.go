@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RowRecord is the machine-readable form of one table row: the table's
+// identity, the run scale, and the row's cells paired with their column
+// headers. One record per row keeps the output greppable and lets
+// downstream tooling (plots, regression diffs) consume tables without
+// parsing the aligned-text layout.
+type RowRecord struct {
+	Table   string            `json:"table"`
+	Title   string            `json:"title"`
+	Scale   string            `json:"scale"`
+	Row     int               `json:"row"`
+	Columns []string          `json:"columns"`
+	Cells   map[string]string `json:"cells"`
+	Notes   []string          `json:"notes,omitempty"`
+}
+
+// JSONRecords flattens the table into one RowRecord per row, labelled with
+// the scale name. Rows shorter than the header are padded with empty cells;
+// extra cells get positional "col<i>" keys so no data is dropped.
+func (t *Table) JSONRecords(scale string) []RowRecord {
+	recs := make([]RowRecord, 0, len(t.Rows))
+	for i, row := range t.Rows {
+		cells := make(map[string]string, len(t.Columns))
+		for c, h := range t.Columns {
+			if c < len(row) {
+				cells[h] = row[c]
+			} else {
+				cells[h] = ""
+			}
+		}
+		for c := len(t.Columns); c < len(row); c++ {
+			cells[fmt.Sprintf("col%d", c)] = row[c]
+		}
+		recs = append(recs, RowRecord{
+			Table:   t.ID,
+			Title:   t.Title,
+			Scale:   scale,
+			Row:     i,
+			Columns: t.Columns,
+			Cells:   cells,
+			Notes:   t.Notes,
+		})
+	}
+	return recs
+}
+
+// WriteJSON emits the table as newline-delimited JSON, one RowRecord per
+// row, in row order.
+func (t *Table) WriteJSON(w io.Writer, scale string) error {
+	enc := json.NewEncoder(w)
+	for _, r := range t.JSONRecords(scale) {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

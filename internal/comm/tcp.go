@@ -237,12 +237,16 @@ func (m *tcpMesh) Poison() {
 	}
 }
 
-// Close implements Transport.
+// Close implements Transport. It closes every endpoint and returns the
+// first teardown error.
 func (m *tcpMesh) Close() error {
+	var first error
 	for _, ep := range m.eps {
-		ep.Close()
+		if err := ep.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return nil
+	return first
 }
 
 // NewTCPEndpoint establishes this process's transport endpoint for a
@@ -306,21 +310,38 @@ func NewTCPEndpoint(rank int, addrs []string, timeout time.Duration) (*TCPTransp
 		errs <- nil
 	}()
 
-	// Dial the higher-ranked peers, retrying while they start up.
+	// Dial the higher-ranked peers, retrying with exponential backoff while
+	// they start up. Refused connections fail fast, so a fixed short sleep
+	// would hammer the target port for the whole startup window; doubling
+	// the pause (capped, and clamped to the remaining deadline) keeps early
+	// retries snappy without busy-dialling a peer that is slow to appear.
 	go func() {
+		const (
+			dialBackoffMin = 2 * time.Millisecond
+			dialBackoffMax = 250 * time.Millisecond
+		)
 		for j := rank + 1; j < n; j++ {
 			var conn net.Conn
 			var err error
+			backoff := dialBackoffMin
 			for {
 				conn, err = net.DialTimeout("tcp", addrs[j], time.Second)
 				if err == nil {
 					break
 				}
-				if time.Now().After(deadline) {
+				remaining := time.Until(deadline)
+				if remaining <= 0 {
 					errs <- fmt.Errorf("comm: rank %d dial rank %d at %s: %w", rank, j, addrs[j], err)
 					return
 				}
-				time.Sleep(50 * time.Millisecond)
+				sleep := backoff
+				if sleep > remaining {
+					sleep = remaining
+				}
+				time.Sleep(sleep)
+				if backoff *= 2; backoff > dialBackoffMax {
+					backoff = dialBackoffMax
+				}
 			}
 			var hdr [4]byte
 			binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
@@ -335,7 +356,7 @@ func NewTCPEndpoint(rank int, addrs []string, timeout time.Duration) (*TCPTransp
 
 	for k := 0; k < 2; k++ {
 		if err := <-errs; err != nil {
-			t.Close()
+			_ = t.Close() // best-effort teardown; the setup error is what matters
 			return nil, err
 		}
 	}

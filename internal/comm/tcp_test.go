@@ -186,3 +186,23 @@ func TestTCPEndpointDialTimeout(t *testing.T) {
 		t.Fatalf("timeout took %v", time.Since(start))
 	}
 }
+
+func TestTCPEndpointRefusedPortBackoff(t *testing.T) {
+	// Rank 1's address refuses connections (nothing ever listens there).
+	// The dial loop must retry with backoff and fail once the deadline
+	// passes: promptly after it (no busy-spin overshoot, no early give-up).
+	addrs := freeAddrs(t, 2)
+	const deadline = 500 * time.Millisecond
+	start := time.Now()
+	_, err := NewTCPEndpoint(0, addrs, deadline)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dialling a refused port succeeded")
+	}
+	if elapsed < deadline/2 {
+		t.Fatalf("gave up after %v, before the %v deadline", elapsed, deadline)
+	}
+	if elapsed > deadline+2*time.Second {
+		t.Fatalf("refused port took %v to fail, deadline was %v", elapsed, deadline)
+	}
+}
