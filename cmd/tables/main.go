@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	tables [-quick] [-table N] [-markdown | -json]
+//	tables [-quick] [-table N] [-datamotion] [-markdown | -json]
 //
 // Without -table, all tables run. -quick uses the shrunken scale (seconds
 // instead of minutes of wall time). -markdown emits GitHub-flavoured
 // markdown instead of aligned text; -json emits newline-delimited JSON,
-// one record per table row, for downstream tooling.
+// one record per table row, for downstream tooling. -datamotion runs only
+// the wall-clock data-motion microbenchmark table (ns/op and allocs/op of
+// the executor collectives, not virtual time).
 package main
 
 import (
@@ -26,8 +28,9 @@ func main() {
 	table := flag.Int("table", 0, "run only table N (1-7); 0 = all")
 	markdown := flag.Bool("markdown", false, "emit markdown output")
 	jsonOut := flag.Bool("json", false, "emit newline-delimited JSON, one record per table row")
+	datamotion := flag.Bool("datamotion", false, "run only the wall-clock data-motion benchmark table")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-markdown | -json]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-markdown | -json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,6 +48,26 @@ func main() {
 	sc := bench.Full()
 	if *quick {
 		sc = bench.Quick()
+	}
+	if *datamotion {
+		if *table != 0 {
+			fmt.Fprintln(os.Stderr, "tables: -datamotion and -table are mutually exclusive")
+			flag.Usage()
+			os.Exit(2)
+		}
+		t := bench.DataMotion()
+		switch {
+		case *jsonOut:
+			if err := t.WriteJSON(os.Stdout, sc.Name); err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+		case *markdown:
+			fmt.Print(t.Markdown())
+		default:
+			fmt.Print(t.Render())
+		}
+		return
 	}
 	funcs := map[int]func(bench.Scale) *bench.Table{
 		1: bench.Table1, 2: bench.Table2, 3: bench.Table3, 4: bench.Table4,

@@ -1,0 +1,173 @@
+// Data-motion microbenchmarks: unlike Tables 1-7, which report virtual
+// seconds under the machine model, this table measures the runtime's real
+// wall-clock cost and heap churn per executor collective. It exists to track
+// the zero-allocation fast path: after warm-up, gather/scatter/append must
+// report 0 allocs/op.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/hashtab"
+	"repro/internal/schedule"
+	"repro/internal/ttable"
+)
+
+// dmEnv builds the symmetric executor workload used by every data-motion
+// row: n globals round-robin over the ranks, nrefs random references.
+func dmEnv(p *comm.Proc, n, nrefs int, seed int64) (*schedule.Schedule, []float64) {
+	owners := make([]int32, n)
+	for i := range owners {
+		owners[i] = int32(i % p.Size())
+	}
+	lo := p.Rank() * n / p.Size()
+	hi := (p.Rank() + 1) * n / p.Size()
+	tt := ttable.Build(p, ttable.Replicated, owners[lo:hi])
+	ht := hashtab.New(p, tt)
+	rng := rand.New(rand.NewSource(seed))
+	refs := make([]int32, nrefs)
+	for i := range refs {
+		refs[i] = int32(rng.Intn(n))
+	}
+	st := ht.NewStamp()
+	ht.Hash(refs, st)
+	sched := schedule.Build(p, ht, st, 0)
+	data := make([]float64, sched.MinLen())
+	for i := range data {
+		data[i] = float64(p.Rank()*1000 + i)
+	}
+	return sched, data
+}
+
+// measure times iters calls of body across an nprocs-rank in-memory run and
+// returns wall-clock ns/op plus heap allocations per op summed over all
+// ranks. A fixed iteration count (not testing.Benchmark's 1-second target)
+// keeps the table cheap enough for CI.
+func measure(nprocs, warmup, iters int, body func(p *comm.Proc, i int)) (nsPerOp float64, allocsPerOp float64) {
+	var start time.Time
+	var m0, m1 runtime.MemStats
+	comm.Run(nprocs, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		for i := 0; i < warmup; i++ {
+			body(p, i)
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			start = time.Now() // chaosvet:ignore determinism — this table measures real wall-clock cost by design
+		}
+		p.Barrier()
+		for i := 0; i < iters; i++ {
+			body(p, i)
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			nsPerOp = float64(time.Since(start).Nanoseconds()) / float64(iters) // chaosvet:ignore determinism — wall-clock by design
+			runtime.ReadMemStats(&m1)
+			allocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+		}
+		p.Barrier()
+	})
+	return nsPerOp, allocsPerOp
+}
+
+// DataMotion benchmarks the executor-phase collectives on the in-memory
+// transport: real nanoseconds and allocations per operation, 4 ranks.
+func DataMotion() *Table {
+	const nprocs, warmup, iters = 4, 5, 300
+	t := &Table{
+		ID:      "DataMotion",
+		Title:   "Executor data motion: wall-clock cost per collective (4 ranks, mem transport)",
+		Columns: []string{"Operation", "ns/op", "allocs/op"},
+		Notes: []string{
+			"real time, not virtual: measures the runtime's zero-allocation fast path",
+			fmt.Sprintf("%d warm-up + %d timed iterations; allocs summed over all ranks", warmup, iters),
+		},
+	}
+	row := func(name string, ns, allocs float64) {
+		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%.0f", ns), fmt.Sprintf("%.2f", allocs)})
+	}
+
+	ns, al := measure(nprocs, warmup, iters, func(p *comm.Proc, i int) {
+		sched, data := dmEnvCache(p)
+		schedule.Gather(p, sched, data)
+	})
+	row("Gather", ns, al)
+
+	ns, al = measure(nprocs, warmup, iters, func(p *comm.Proc, i int) {
+		sched, data := dmEnvCache(p)
+		schedule.Scatter(p, sched, data, schedule.OpAdd)
+	})
+	row("ScatterAdd", ns, al)
+
+	ns, al = measureLight(nprocs, warmup, iters)
+	row("ScatterAppend w3", ns, al)
+
+	ns, al = measure(nprocs, warmup, iters, func(p *comm.Proc, i int) {
+		dest := dmDestCache(p)
+		schedule.BuildLight(p, dest)
+	})
+	row("BuildLight", ns, al)
+
+	return t
+}
+
+// Per-rank env caches: measure re-enters comm.Run per row, so the setup
+// (table build, hashing, schedule build) must happen inside the run but
+// only once per rank, outside the timed region via the warm-up iterations.
+var (
+	dmSched [8]*schedule.Schedule
+	dmData  [8][]float64
+	dmDest  [8][]int32
+)
+
+func dmEnvCache(p *comm.Proc) (*schedule.Schedule, []float64) {
+	r := p.Rank()
+	if dmSched[r] == nil {
+		dmSched[r], dmData[r] = dmEnv(p, 512, 1024, 7)
+	}
+	return dmSched[r], dmData[r]
+}
+
+func dmDestCache(p *comm.Proc) []int32 {
+	r := p.Rank()
+	if dmDest[r] == nil {
+		dest := make([]int32, 256)
+		for i := range dest {
+			dest[i] = int32(i % p.Size())
+		}
+		dmDest[r] = dest
+	}
+	return dmDest[r]
+}
+
+// measureLight times the light-weight scatter_append (width 3) with the
+// result buffer fed back each iteration, the steady-state DSMC shape.
+func measureLight(nprocs, warmup, iters int) (float64, float64) {
+	outs := make([][]float64, nprocs)
+	ls := make([]*schedule.LightSchedule, nprocs)
+	dests := make([][]int32, nprocs)
+	items := make([][]float64, nprocs)
+	return measure(nprocs, warmup, iters, func(p *comm.Proc, i int) {
+		r := p.Rank()
+		if ls[r] == nil {
+			dest := make([]int32, 64*p.Size())
+			for k := range dest {
+				dest[k] = int32(k % p.Size())
+			}
+			dests[r] = dest
+			it := make([]float64, len(dest)*3)
+			for k := range it {
+				it[k] = float64(r) + float64(k)/16
+			}
+			items[r] = it
+			ls[r] = schedule.BuildLight(p, dest)
+		}
+		outs[r] = ls[r].MoveF64Into(p, dests[r], items[r], 3, outs[r])
+	})
+}

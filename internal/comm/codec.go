@@ -10,65 +10,109 @@ import (
 // never hand-rolls binary packing; all higher layers (translation tables,
 // schedules, remap) speak in terms of typed slices.
 
-// EncodeF64 packs xs into a little-endian byte slice.
-func EncodeF64(xs []float64) []byte {
-	b := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+// The Append*/Decode*Into variants are the in-place forms the executor hot
+// path uses: they write into caller-supplied buffers so that steady-state
+// loops encode and decode without heap allocation.
+
+// AppendF64 appends the wire form of xs to b and returns the extended slice.
+func AppendF64(b []byte, xs []float64) []byte {
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
 	}
 	return b
 }
 
-// DecodeF64 unpacks a buffer produced by EncodeF64.
-func DecodeF64(b []byte) []float64 {
+// EncodeF64 packs xs into a fresh little-endian byte slice.
+func EncodeF64(xs []float64) []byte {
+	return AppendF64(make([]byte, 0, 8*len(xs)), xs)
+}
+
+// DecodeF64Into unpacks a buffer produced by EncodeF64/AppendF64 into dst's
+// backing array, reallocating only if dst's capacity is too small, and
+// returns the decoded slice (length exactly len(b)/8). dst may be nil.
+func DecodeF64Into(dst []float64, b []byte) []float64 {
 	if len(b)%8 != 0 {
 		panic("comm: DecodeF64 on buffer whose length is not a multiple of 8")
 	}
-	xs := make([]float64, len(b)/8)
-	for i := range xs {
-		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	n := len(b) / 8
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
 	}
-	return xs
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return dst
 }
 
-// EncodeI32 packs xs into a little-endian byte slice.
-func EncodeI32(xs []int32) []byte {
-	b := make([]byte, 4*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+// DecodeF64 unpacks a buffer produced by EncodeF64 into a fresh slice.
+func DecodeF64(b []byte) []float64 { return DecodeF64Into(nil, b) }
+
+// AppendI32 appends the wire form of xs to b and returns the extended slice.
+func AppendI32(b []byte, xs []int32) []byte {
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(x))
 	}
 	return b
 }
 
-// DecodeI32 unpacks a buffer produced by EncodeI32.
-func DecodeI32(b []byte) []int32 {
+// EncodeI32 packs xs into a fresh little-endian byte slice.
+func EncodeI32(xs []int32) []byte {
+	return AppendI32(make([]byte, 0, 4*len(xs)), xs)
+}
+
+// DecodeI32Into unpacks a buffer produced by EncodeI32/AppendI32 into dst's
+// backing array (see DecodeF64Into).
+func DecodeI32Into(dst []int32, b []byte) []int32 {
 	if len(b)%4 != 0 {
 		panic("comm: DecodeI32 on buffer whose length is not a multiple of 4")
 	}
-	xs := make([]int32, len(b)/4)
-	for i := range xs {
-		xs[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	n := len(b) / 4
+	if cap(dst) < n {
+		dst = make([]int32, n)
+	} else {
+		dst = dst[:n]
 	}
-	return xs
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return dst
 }
 
-// EncodeI64 packs xs into a little-endian byte slice.
-func EncodeI64(xs []int64) []byte {
-	b := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+// DecodeI32 unpacks a buffer produced by EncodeI32 into a fresh slice.
+func DecodeI32(b []byte) []int32 { return DecodeI32Into(nil, b) }
+
+// AppendI64 appends the wire form of xs to b and returns the extended slice.
+func AppendI64(b []byte, xs []int64) []byte {
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(x))
 	}
 	return b
 }
 
-// DecodeI64 unpacks a buffer produced by EncodeI64.
-func DecodeI64(b []byte) []int64 {
+// EncodeI64 packs xs into a fresh little-endian byte slice.
+func EncodeI64(xs []int64) []byte {
+	return AppendI64(make([]byte, 0, 8*len(xs)), xs)
+}
+
+// DecodeI64Into unpacks a buffer produced by EncodeI64/AppendI64 into dst's
+// backing array (see DecodeF64Into).
+func DecodeI64Into(dst []int64, b []byte) []int64 {
 	if len(b)%8 != 0 {
 		panic("comm: DecodeI64 on buffer whose length is not a multiple of 8")
 	}
-	xs := make([]int64, len(b)/8)
-	for i := range xs {
-		xs[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	n := len(b) / 8
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	} else {
+		dst = dst[:n]
 	}
-	return xs
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return dst
 }
+
+// DecodeI64 unpacks a buffer produced by EncodeI64 into a fresh slice.
+func DecodeI64(b []byte) []int64 { return DecodeI64Into(nil, b) }

@@ -51,6 +51,15 @@ type Proc struct {
 	m     *costmodel.Machine
 	clock float64
 	stats Stats
+	// arena recycles payload buffers for the pooled send paths (SendF64Buf
+	// and friends). Buffers flow out through send and come back through
+	// Message.Release — from the TCP writer once the payload is copied to
+	// the socket, or from the receiving rank's typed receive once the
+	// payload is decoded (the in-memory transport aliases payloads, so only
+	// the receiver knows when the bytes are dead). Proc itself is
+	// single-goroutine; the arena carries the lock because releases arrive
+	// from other goroutines.
+	arena byteArena
 }
 
 // NewProc constructs a processor endpoint. Most code should use Run instead.
@@ -111,7 +120,12 @@ func (p *Proc) ComputeMem(n int) { p.Compute(p.m.MemCost(n)) }
 // departure + Alpha + Beta*len(data). data is not retained nor modified, but
 // for the in-memory transport the receiver aliases it, so callers must not
 // mutate a buffer after sending it.
-func (p *Proc) Send(to, tag int, data []byte) {
+func (p *Proc) Send(to, tag int, data []byte) { p.send(to, tag, data, nil) }
+
+// send is the shared transmit path. pool is non-nil only for arena-staged
+// payloads (SendF64Buf and friends); the virtual-time accounting is
+// identical either way, so pooled sends are invisible to the cost model.
+func (p *Proc) send(to, tag int, data []byte, pool *byteArena) {
 	if to == p.rank {
 		panic("comm: send to self (use local copy instead)")
 	}
@@ -126,13 +140,13 @@ func (p *Proc) Send(to, tag int, data []byte) {
 		Tag:    tag,
 		Arrive: depart + p.m.MsgCost(len(data)),
 		Data:   data,
+		pool:   pool,
 	})
 }
 
-// Recv blocks until a message from `from` with the given tag is available
-// and returns its payload. Waiting time (virtual) is accounted as
-// communication time.
-func (p *Proc) Recv(from, tag int) []byte {
+// recvMsg blocks until a message from `from` with the given tag is
+// available. Waiting time (virtual) is accounted as communication time.
+func (p *Proc) recvMsg(from, tag int) Message {
 	if from == p.rank {
 		panic("comm: recv from self")
 	}
@@ -143,23 +157,78 @@ func (p *Proc) Recv(from, tag int) []byte {
 	}
 	p.stats.MsgsRecv++
 	p.stats.BytesRecv += int64(len(m.Data))
-	return m.Data
+	return m
+}
+
+// Recv blocks until a message from `from` with the given tag is available
+// and returns its payload. The caller owns the returned bytes; payloads
+// that were staged through a send arena are not reclaimed on this path.
+func (p *Proc) Recv(from, tag int) []byte {
+	return p.recvMsg(from, tag).Data
 }
 
 // SendF64 sends a []float64 payload.
 func (p *Proc) SendF64(to, tag int, xs []float64) { p.Send(to, tag, EncodeF64(xs)) }
 
+// SendF64Buf sends a []float64 payload staged through the per-Proc buffer
+// arena: the values are encoded into a recycled byte buffer, so xs may be
+// reused (or mutated) as soon as the call returns and the send itself does
+// not allocate in steady state. The modeled cost is identical to SendF64.
+func (p *Proc) SendF64Buf(to, tag int, xs []float64) {
+	b := AppendF64(p.arena.get(8*len(xs)), xs)
+	p.send(to, tag, b, &p.arena)
+}
+
 // RecvF64 receives a []float64 payload.
-func (p *Proc) RecvF64(from, tag int) []float64 { return DecodeF64(p.Recv(from, tag)) }
+func (p *Proc) RecvF64(from, tag int) []float64 { return p.RecvF64Into(from, tag, nil) }
+
+// RecvF64Into receives a []float64 payload, decoding into dst's backing
+// array (reallocating only if it is too small) and returning the decoded
+// slice. If the payload was staged through a send arena it is reclaimed
+// here, completing the pooled round trip.
+func (p *Proc) RecvF64Into(from, tag int, dst []float64) []float64 {
+	m := p.recvMsg(from, tag)
+	dst = DecodeF64Into(dst, m.Data)
+	m.Release()
+	return dst
+}
 
 // SendI32 sends a []int32 payload.
 func (p *Proc) SendI32(to, tag int, xs []int32) { p.Send(to, tag, EncodeI32(xs)) }
 
+// SendI32Buf is SendF64Buf for []int32 payloads.
+func (p *Proc) SendI32Buf(to, tag int, xs []int32) {
+	b := AppendI32(p.arena.get(4*len(xs)), xs)
+	p.send(to, tag, b, &p.arena)
+}
+
 // RecvI32 receives a []int32 payload.
-func (p *Proc) RecvI32(from, tag int) []int32 { return DecodeI32(p.Recv(from, tag)) }
+func (p *Proc) RecvI32(from, tag int) []int32 { return p.RecvI32Into(from, tag, nil) }
+
+// RecvI32Into is RecvF64Into for []int32 payloads.
+func (p *Proc) RecvI32Into(from, tag int, dst []int32) []int32 {
+	m := p.recvMsg(from, tag)
+	dst = DecodeI32Into(dst, m.Data)
+	m.Release()
+	return dst
+}
 
 // SendI64 sends a []int64 payload.
 func (p *Proc) SendI64(to, tag int, xs []int64) { p.Send(to, tag, EncodeI64(xs)) }
 
+// SendI64Buf is SendF64Buf for []int64 payloads.
+func (p *Proc) SendI64Buf(to, tag int, xs []int64) {
+	b := AppendI64(p.arena.get(8*len(xs)), xs)
+	p.send(to, tag, b, &p.arena)
+}
+
 // RecvI64 receives a []int64 payload.
-func (p *Proc) RecvI64(from, tag int) []int64 { return DecodeI64(p.Recv(from, tag)) }
+func (p *Proc) RecvI64(from, tag int) []int64 { return p.RecvI64Into(from, tag, nil) }
+
+// RecvI64Into is RecvF64Into for []int64 payloads.
+func (p *Proc) RecvI64Into(from, tag int, dst []int64) []int64 {
+	m := p.recvMsg(from, tag)
+	dst = DecodeI64Into(dst, m.Data)
+	m.Release()
+	return dst
+}

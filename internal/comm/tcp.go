@@ -28,6 +28,10 @@ type TCPTransport struct {
 	wmu     []sync.Mutex
 	closed  sync.Once
 	wg      sync.WaitGroup
+	// recvArena recycles incoming payload buffers: the reader goroutine
+	// draws from it and the typed receive paths return buffers after
+	// decoding (payloads retained via raw Recv are simply never reclaimed).
+	recvArena byteArena
 }
 
 // NewTCPCluster builds n TCPTransport endpoints wired through loopback TCP.
@@ -146,13 +150,15 @@ func (t *TCPTransport) attach(peer int, conn net.Conn) {
 			arrive := math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:]))
 			n := int(binary.LittleEndian.Uint32(hdr[16:]))
 			var data []byte
+			var pool *byteArena
 			if n > 0 {
-				data = make([]byte, n)
+				pool = &t.recvArena
+				data = pool.get(n)[:n]
 				if _, err := io.ReadFull(r, data); err != nil {
 					return
 				}
 			}
-			t.boxes[from].put(Message{From: from, To: t.rank, Tag: tag, Arrive: arrive, Data: data})
+			t.boxes[from].put(Message{From: from, To: t.rank, Tag: tag, Arrive: arrive, Data: data, pool: pool})
 		}
 	}()
 }
@@ -182,6 +188,9 @@ func (t *TCPTransport) Send(m Message) {
 	if err := w.Flush(); err != nil {
 		panic(fmt.Sprintf("comm: tcp flush: %v", err))
 	}
+	// The payload is fully copied onto the wire, so a pooled staging buffer
+	// is reusable by the sender as soon as Send returns.
+	m.Release()
 }
 
 // Recv implements Transport.

@@ -22,6 +22,24 @@ type Message struct {
 	From, To, Tag int
 	Arrive        float64
 	Data          []byte
+	// pool, when non-nil, is the arena Data was drawn from. Whoever ends the
+	// payload's lifetime (the TCP writer after copying it out, or the typed
+	// receive paths after decoding it) calls Release to recycle the buffer;
+	// see byteArena for the full ownership rule.
+	pool *byteArena
+}
+
+// Release returns a pooled payload to its arena. It is a no-op for
+// unpooled messages and must only be called once the payload can no longer
+// be read (after the transport copied it out, or after the receiver decoded
+// it).
+func (m *Message) Release() {
+	if m.pool == nil {
+		return
+	}
+	m.pool.put(m.Data)
+	m.pool = nil
+	m.Data = nil
 }
 
 // Transport moves messages between ranks. Implementations must deliver

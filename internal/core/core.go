@@ -13,6 +13,12 @@
 // local order) and carries the translation table describing the whole
 // distribution. Repartition derives a new Dist from partitioner output and
 // returns the remap.Plan that moves any conforming array.
+//
+// Phase F is allocation-free in steady state: schedules cache their
+// pack/unpack staging, payload bytes recycle through the per-Proc send
+// arena, and the codecs decode in place (see "Steady-state allocation
+// discipline" in DESIGN.md). Executor loops can therefore run thousands
+// of iterations per schedule build without heap churn.
 package core
 
 import (

@@ -61,6 +61,11 @@ type Table struct {
 	nGhosts   int
 	nextStamp uint
 
+	// Hash scratch, reused across calls so repeated adapt cycles
+	// (ClearStamp/Reset + rehash) stop allocating once warm.
+	seen    map[int32]bool
+	unknown []int32
+
 	// Counters for ablation studies and tests.
 	probes       int64 // hash probes performed
 	translations int64 // dereferences that actually hit the translation table
@@ -80,11 +85,13 @@ func New(p *comm.Proc, tt *ttable.Table) *Table {
 // and drops every cached entry, ghost slot and stamp. After a checkpoint
 // restore or repartition the cached (owner, offset) translations are stale,
 // so the inspector must rebuild from a clean table rather than reuse them.
+// The map and entry storage are retained, so adapt cycles that reset and
+// rehash similarly sized index sets do not regrow the table from scratch.
 func (t *Table) Reset(tt *ttable.Table) {
 	t.tt = tt
 	t.nLocal = tt.NLocal(t.p.Rank())
-	t.idx = make(map[int32]int32)
-	t.entries = nil
+	clear(t.idx)
+	t.entries = t.entries[:0]
 	t.nGhosts = 0
 	t.nextStamp = 0
 }
@@ -124,15 +131,22 @@ func (t *Table) Translations() int64 { return t.translations }
 // tables this is a collective call, because unknown indices must be
 // dereferenced.
 func (t *Table) Hash(globals []int32, stamp Stamp) []int32 {
-	// Pass 1: probe; collect unknown globals (each once).
-	var unknown []int32
-	seen := map[int32]bool{}
+	// Pass 1: probe; collect unknown globals (each once). The seen set and
+	// unknown list are table-owned scratch reused across calls.
+	if t.seen == nil {
+		t.seen = make(map[int32]bool)
+	} else {
+		clear(t.seen)
+	}
+	seen := t.seen
+	unknown := t.unknown[:0]
 	for _, g := range globals {
 		if _, ok := t.idx[g]; !ok && !seen[g] {
 			seen[g] = true
 			unknown = append(unknown, g)
 		}
 	}
+	t.unknown = unknown
 	t.probes += int64(len(globals))
 	t.p.ComputeMem(probeMemOps * len(globals))
 

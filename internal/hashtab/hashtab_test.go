@@ -264,3 +264,33 @@ func TestHashWithDistributedTable(t *testing.T) {
 		}
 	})
 }
+
+func TestAdaptCyclesBoundedAllocs(t *testing.T) {
+	// Regression: repeated adapt cycles (Reset + rehash of a similarly sized
+	// index set) must reuse the table's map, entry storage and Hash scratch.
+	// Steady-state allocations per cycle are the two result slices Hash and
+	// Dereference return, not anything proportional to cycle count.
+	const n, nrefs = 256, 512
+	comm.Run(2, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		tt := buildBlockTable(p, n)
+		ht := New(p, tt)
+		rng := rand.New(rand.NewSource(int64(7 + p.Rank())))
+		gs := make([]int32, nrefs)
+		for i := range gs {
+			gs[i] = int32(rng.Intn(n))
+		}
+		cycle := func() {
+			ht.Reset(tt)
+			ht.Hash(gs, ht.NewStamp())
+		}
+		for i := 0; i < 3; i++ { // warm up: grow map/entries/scratch to size
+			cycle()
+		}
+		// Replicated table => Hash is purely local, so each rank can measure
+		// independently without breaking collective lockstep.
+		allocs := testing.AllocsPerRun(50, cycle)
+		if allocs > 8 {
+			t.Errorf("rank %d: %.1f allocs per adapt cycle, want <= 8", p.Rank(), allocs)
+		}
+	})
+}

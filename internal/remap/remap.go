@@ -40,8 +40,11 @@ func BlockMap(p *comm.Proc, globals, owners []int32, n int) []int32 {
 	}
 	p.ComputeMem(len(globals))
 	bufs := make([][]byte, p.Size())
+	flat := make([]byte, 0, 8*len(globals))
 	for r := range out {
-		bufs[r] = comm.EncodeI32(out[r])
+		start := len(flat)
+		flat = comm.AppendI32(flat, out[r])
+		bufs[r] = flat[start:len(flat):len(flat)]
 	}
 	lo, hi := partition.BlockRange(p.Rank(), n, p.Size())
 	slab := make([]int32, hi-lo)
@@ -80,6 +83,31 @@ type Plan struct {
 	keepOff []int32
 	// newLen is the local length under the destination distribution.
 	newLen int
+	// stageF/stageI are pack/unpack scratch reused across Move calls, so a
+	// plan that moves many identically distributed arrays allocates staging
+	// space once. Wire bytes go through the Proc send arena (SendF64Buf and
+	// friends), so repeated moves are allocation-free apart from the result
+	// arrays themselves.
+	stageF []float64
+	stageI []int32
+}
+
+// stageF64 returns scratch of exactly n elements backed by *buf.
+func stageF64(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// stageI32 returns scratch of exactly n elements backed by *buf.
+func stageI32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // NewPlan builds a remap plan. globals[i] is the global index of this
@@ -106,8 +134,11 @@ func NewPlan(p *comm.Proc, globals []int32, dst *ttable.Table) *Plan {
 	}
 	p.ComputeMem(len(globals))
 	bufs := make([][]byte, p.Size())
+	flat := make([]byte, 0, 4*(len(globals)-len(pl.keepIdx)))
 	for r := range offOut {
-		bufs[r] = comm.EncodeI32(offOut[r])
+		start := len(flat)
+		flat = comm.AppendI32(flat, offOut[r])
+		bufs[r] = flat[start:len(flat):len(flat)]
 	}
 	for r, b := range p.AllToAll(bufs) {
 		if r == p.Rank() {
@@ -144,12 +175,12 @@ func (pl *Plan) MoveF64(p *comm.Proc, old []float64, width int) []float64 {
 		if len(idx) == 0 {
 			continue
 		}
-		buf := make([]float64, len(idx)*width)
+		buf := stageF64(&pl.stageF, len(idx)*width)
 		for i, li := range idx {
 			copy(buf[i*width:], old[int(li)*width:int(li+1)*width])
 		}
 		p.ComputeMem(len(buf))
-		p.SendF64(dst, tagRemap, buf)
+		p.SendF64Buf(dst, tagRemap, buf)
 	}
 	for k := 1; k < p.Size(); k++ {
 		src := (p.Rank() - k + p.Size()) % p.Size()
@@ -157,7 +188,8 @@ func (pl *Plan) MoveF64(p *comm.Proc, old []float64, width int) []float64 {
 		if len(offs) == 0 {
 			continue
 		}
-		vals := p.RecvF64(src, tagRemap)
+		vals := p.RecvF64Into(src, tagRemap, pl.stageF)
+		pl.stageF = vals
 		if len(vals) != len(offs)*width {
 			panic(fmt.Sprintf("remap: from %d got %d values, want %d", src, len(vals), len(offs)*width))
 		}
@@ -184,12 +216,12 @@ func (pl *Plan) MoveI32(p *comm.Proc, old []int32, width int) []int32 {
 		if len(idx) == 0 {
 			continue
 		}
-		buf := make([]int32, len(idx)*width)
+		buf := stageI32(&pl.stageI, len(idx)*width)
 		for i, li := range idx {
 			copy(buf[i*width:], old[int(li)*width:int(li+1)*width])
 		}
 		p.ComputeMem(len(buf))
-		p.SendI32(dst, tagRemap, buf)
+		p.SendI32Buf(dst, tagRemap, buf)
 	}
 	for k := 1; k < p.Size(); k++ {
 		src := (p.Rank() - k + p.Size()) % p.Size()
@@ -197,7 +229,8 @@ func (pl *Plan) MoveI32(p *comm.Proc, old []int32, width int) []int32 {
 		if len(offs) == 0 {
 			continue
 		}
-		vals := p.RecvI32(src, tagRemap)
+		vals := p.RecvI32Into(src, tagRemap, pl.stageI)
+		pl.stageI = vals
 		if len(vals) != len(offs)*width {
 			panic(fmt.Sprintf("remap: from %d got %d values, want %d", src, len(vals), len(offs)*width))
 		}
@@ -239,12 +272,16 @@ func (pl *Plan) MoveCSR(p *comm.Proc, ptr []int32, values []int32) ([]int32, []i
 		if len(idx) == 0 {
 			continue
 		}
-		var buf []int32
+		n := 0
+		for _, li := range idx {
+			n += int(segLen(li))
+		}
+		buf := stageI32(&pl.stageI, n)[:0]
 		for _, li := range idx {
 			buf = append(buf, values[ptr[li]:ptr[li+1]]...)
 		}
 		p.ComputeMem(len(buf))
-		p.SendI32(dst, tagRemap, buf)
+		p.SendI32Buf(dst, tagRemap, buf)
 	}
 	for k := 1; k < p.Size(); k++ {
 		src := (p.Rank() - k + p.Size()) % p.Size()
@@ -252,7 +289,8 @@ func (pl *Plan) MoveCSR(p *comm.Proc, ptr []int32, values []int32) ([]int32, []i
 		if len(offs) == 0 {
 			continue
 		}
-		vals := p.RecvI32(src, tagRemap)
+		vals := p.RecvI32Into(src, tagRemap, pl.stageI)
+		pl.stageI = vals
 		pos := 0
 		for _, off := range offs {
 			l := int(newLens[off])

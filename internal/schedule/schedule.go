@@ -46,6 +46,24 @@ type Schedule struct {
 	RecvSlot [][]int32
 	// minLen is 1 + the largest local index referenced, for buffer checks.
 	minLen int
+	// stageS/stageR are staging scratch for the pack/unpack loops, reused
+	// across Gather/Scatter calls so the executor stops allocating after
+	// the first iteration. One buffer per direction suffices: packed values
+	// are encoded into the send arena before the next peer is packed, and
+	// received values are unpacked before the next peer is received. Both
+	// die with the schedule, so a rebuild naturally invalidates them.
+	stageS []float64
+	stageR []float64
+}
+
+// stage returns scratch of exactly n elements backed by *buf, growing the
+// backing array only when the schedule sees a larger message than before.
+func stage(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // NProcs returns the number of processors the schedule spans.
@@ -194,6 +212,9 @@ func Gather(p *comm.Proc, s *Schedule, data []float64) {
 
 // GatherW is Gather for arrays with `width` float64 components per element
 // (stored row-major: element i occupies data[i*width : (i+1)*width]).
+// Steady-state calls are allocation-free: packing stages through
+// schedule-owned scratch, the wire bytes through the Proc send arena, and
+// unpacking through scratch grown on the first call.
 func GatherW(p *comm.Proc, s *Schedule, data []float64, width int) {
 	s.checkLen(len(data), width)
 	for k := 1; k < p.Size(); k++ {
@@ -202,12 +223,12 @@ func GatherW(p *comm.Proc, s *Schedule, data []float64, width int) {
 		if len(offs) == 0 {
 			continue
 		}
-		buf := make([]float64, len(offs)*width)
+		buf := stage(&s.stageS, len(offs)*width)
 		for i, off := range offs {
 			copy(buf[i*width:], data[int(off)*width:int(off+1)*width])
 		}
 		p.ComputeMem(len(buf))
-		p.SendF64(dst, tagGather, buf)
+		p.SendF64Buf(dst, tagGather, buf)
 	}
 	for k := 1; k < p.Size(); k++ {
 		src := (p.Rank() - k + p.Size()) % p.Size()
@@ -215,7 +236,8 @@ func GatherW(p *comm.Proc, s *Schedule, data []float64, width int) {
 		if len(slots) == 0 {
 			continue
 		}
-		vals := p.RecvF64(src, tagGather)
+		vals := p.RecvF64Into(src, tagGather, s.stageR)
+		s.stageR = vals
 		if len(vals) != len(slots)*width {
 			panic(fmt.Sprintf("schedule: gather from %d delivered %d values, want %d", src, len(vals), len(slots)*width))
 		}
@@ -234,6 +256,7 @@ const (
 	OpReplace CombineOp = iota
 	OpAdd
 	OpMax
+	OpMin
 )
 
 // Scatter pushes ghost-section values back to their owners, combining with
@@ -244,7 +267,9 @@ func Scatter(p *comm.Proc, s *Schedule, data []float64, op CombineOp) {
 	ScatterW(p, s, data, 1, op)
 }
 
-// ScatterW is Scatter for width-component elements.
+// ScatterW is Scatter for width-component elements. Like GatherW it is
+// allocation-free in steady state, and the combine switch is resolved once
+// per message rather than once per element.
 func ScatterW(p *comm.Proc, s *Schedule, data []float64, width int, op CombineOp) {
 	s.checkLen(len(data), width)
 	for k := 1; k < p.Size(); k++ {
@@ -253,12 +278,12 @@ func ScatterW(p *comm.Proc, s *Schedule, data []float64, width int, op CombineOp
 		if len(slots) == 0 {
 			continue
 		}
-		buf := make([]float64, len(slots)*width)
+		buf := stage(&s.stageS, len(slots)*width)
 		for i, slot := range slots {
 			copy(buf[i*width:], data[int(slot)*width:int(slot+1)*width])
 		}
 		p.ComputeMem(len(buf))
-		p.SendF64(dst, tagScatter, buf)
+		p.SendF64Buf(dst, tagScatter, buf)
 	}
 	for k := 1; k < p.Size(); k++ {
 		src := (p.Rank() - k + p.Size()) % p.Size()
@@ -266,30 +291,53 @@ func ScatterW(p *comm.Proc, s *Schedule, data []float64, width int, op CombineOp
 		if len(offs) == 0 {
 			continue
 		}
-		vals := p.RecvF64(src, tagScatter)
+		vals := p.RecvF64Into(src, tagScatter, s.stageR)
+		s.stageR = vals
 		if len(vals) != len(offs)*width {
 			panic(fmt.Sprintf("schedule: scatter from %d delivered %d values, want %d", src, len(vals), len(offs)*width))
 		}
+		combine(op, data, offs, vals, width)
+		p.ComputeMem(len(vals))
+	}
+}
+
+// combine merges one received message into data under op, with the op
+// dispatched once per message (branch per message, not per element).
+func combine(op CombineOp, data []float64, offs []int32, vals []float64, width int) {
+	switch op {
+	case OpReplace:
+		for i, off := range offs {
+			copy(data[int(off)*width:int(off+1)*width], vals[i*width:(i+1)*width])
+		}
+	case OpAdd:
 		for i, off := range offs {
 			dst := data[int(off)*width : int(off+1)*width]
 			src := vals[i*width : (i+1)*width]
-			switch op {
-			case OpReplace:
-				copy(dst, src)
-			case OpAdd:
-				for j := range dst {
-					dst[j] += src[j]
-				}
-			case OpMax:
-				for j := range dst {
-					if src[j] > dst[j] {
-						dst[j] = src[j]
-					}
-				}
-			default:
-				panic("schedule: unknown combine op")
+			for j := range dst {
+				dst[j] += src[j]
 			}
 		}
-		p.ComputeMem(len(vals))
+	case OpMax:
+		for i, off := range offs {
+			dst := data[int(off)*width : int(off+1)*width]
+			src := vals[i*width : (i+1)*width]
+			for j := range dst {
+				if src[j] > dst[j] {
+					dst[j] = src[j]
+				}
+			}
+		}
+	case OpMin:
+		for i, off := range offs {
+			dst := data[int(off)*width : int(off+1)*width]
+			src := vals[i*width : (i+1)*width]
+			for j := range dst {
+				if src[j] < dst[j] {
+					dst[j] = src[j]
+				}
+			}
+		}
+	default:
+		panic("schedule: unknown combine op")
 	}
 }

@@ -419,3 +419,34 @@ func TestLightweightCheaperThanRegular(t *testing.T) {
 		t.Errorf("light-weight (%.6fs) not cheaper than regular (%.6fs)", light.MaxClock(), regular.MaxClock())
 	}
 }
+
+func TestScatterMin(t *testing.T) {
+	const n = 16
+	owners := make([]int32, n) // all owned by rank 0
+	comm.Run(2, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		_, ht := buildEnv(p, owners)
+		st := ht.NewStamp()
+		if p.Rank() == 1 {
+			loc := ht.Hash([]int32{5}, st)
+			sched := Build(p, ht, st, 0)
+			data := make([]float64, sched.MinLen())
+			data[loc[0]] = -2
+			Scatter(p, sched, data, OpMin)
+			data[loc[0]] = 7 // higher than resident: OpMin must keep -2
+			Scatter(p, sched, data, OpMin)
+		} else {
+			ht.Hash(nil, st)
+			sched := Build(p, ht, st, 0)
+			data := make([]float64, 16)
+			data[5] = 3
+			Scatter(p, sched, data, OpMin)
+			if data[5] != -2 {
+				t.Errorf("after first min, data[5] = %v, want -2", data[5])
+			}
+			Scatter(p, sched, data, OpMin)
+			if data[5] != -2 {
+				t.Errorf("after second min, data[5] = %v, want -2", data[5])
+			}
+		}
+	})
+}

@@ -246,30 +246,49 @@ func (t *Table) derefDistributed(p *comm.Proc, globals []int32) []Entry {
 	}
 	p.ComputeMem(len(globals))
 
+	// All request lists are encoded back-to-back into one pre-sized buffer;
+	// the per-peer messages are subslices of it, so the exchange costs one
+	// allocation instead of one per peer. The wire bytes are unchanged.
 	bufs := make([][]byte, p.Size())
+	flat := make([]byte, 0, 4*len(globals))
 	for r := range req {
-		bufs[r] = comm.EncodeI32(req[r])
+		start := len(flat)
+		flat = comm.AppendI32(flat, req[r])
+		bufs[r] = flat[start:len(flat):len(flat)]
 	}
 	incoming := p.AllToAll(bufs)
 
-	// Answer incoming requests from the local slab.
+	// Answer incoming requests from the local slab, again into one flat
+	// reply buffer. flat never regrows (it is pre-sized exactly), so earlier
+	// subslices stay valid as later replies are appended.
+	total := 0
+	for _, b := range incoming {
+		total += len(b) / 4
+	}
 	replies := make([][]byte, p.Size())
+	rflat := make([]byte, 0, 8*total)
+	var qs, ans []int32
 	for r, b := range incoming {
-		qs := comm.DecodeI32(b)
-		ans := make([]int32, 2*len(qs))
+		qs = comm.DecodeI32Into(qs, b)
+		if cap(ans) < 2*len(qs) {
+			ans = make([]int32, 2*len(qs))
+		}
+		ans = ans[:2*len(qs)]
 		for k, g := range qs {
 			i := int(g) - lo
 			ans[2*k] = t.locOwners[i]
 			ans[2*k+1] = t.locOffsets[i]
 		}
 		p.ComputeMem(len(qs))
-		replies[r] = comm.EncodeI32(ans)
+		start := len(rflat)
+		rflat = comm.AppendI32(rflat, ans)
+		replies[r] = rflat[start:len(rflat):len(rflat)]
 	}
 	answered := p.AllToAll(replies)
 
 	out := make([]Entry, len(globals))
 	for r, b := range answered {
-		ans := comm.DecodeI32(b)
+		ans = comm.DecodeI32Into(ans, b)
 		for k := range where[r] {
 			out[where[r][k]] = Entry{Owner: ans[2*k], Offset: ans[2*k+1]}
 		}
@@ -302,27 +321,52 @@ func (t *Table) derefPaged(p *comm.Proc, globals []int32) []Entry {
 	for r := range req {
 		sort.Slice(req[r], func(i, j int) bool { return req[r][i] < req[r][j] })
 	}
+	// One flat request buffer, per-peer subslices (wire bytes unchanged).
 	bufs := make([][]byte, p.Size())
+	flat := make([]byte, 0, 4*len(need))
 	for r := range req {
-		bufs[r] = comm.EncodeI32(req[r])
+		start := len(flat)
+		flat = comm.AppendI32(flat, req[r])
+		bufs[r] = flat[start:len(flat):len(flat)]
 	}
 	incoming := p.AllToAll(bufs)
 
 	// Serve pages: reply is a sequence of (page, size, owner..., offset...).
-	replies := make([][]byte, p.Size())
+	// Replies are staged through one int32 scratch and encoded back-to-back
+	// into a flat buffer sized by a first pass over the requests.
+	reqIn := make([][]int32, p.Size())
+	total := 0
 	for r, b := range incoming {
-		var out []int32
-		for _, pg := range comm.DecodeI32(b) {
+		reqIn[r] = comm.DecodeI32(b)
+		for _, pg := range reqIn[r] {
+			total += 2 + 2*len(t.homePages[int(pg)])
+		}
+	}
+	replies := make([][]byte, p.Size())
+	rflat := make([]byte, 0, 4*total)
+	var scratch []int32
+	for r, pgs := range reqIn {
+		n := 0
+		for _, pg := range pgs {
+			n += 2 + 2*len(t.homePages[int(pg)])
+		}
+		if cap(scratch) < n {
+			scratch = make([]int32, 0, n)
+		}
+		scratch = scratch[:0]
+		for _, pg := range pgs {
 			ents := t.homePages[int(pg)]
-			out = append(out, pg, int32(len(ents)))
+			scratch = append(scratch, pg, int32(len(ents)))
 			for _, e := range ents {
-				out = append(out, e.Owner)
+				scratch = append(scratch, e.Owner)
 			}
 			for _, e := range ents {
-				out = append(out, e.Offset)
+				scratch = append(scratch, e.Offset)
 			}
 		}
-		replies[r] = comm.EncodeI32(out)
+		start := len(rflat)
+		rflat = comm.AppendI32(rflat, scratch)
+		replies[r] = rflat[start:len(rflat):len(rflat)]
 	}
 	served := p.AllToAll(replies)
 	for _, b := range served {
