@@ -23,6 +23,13 @@
 // wrote the checkpoint (elastic restart); a rank killed mid-run surfaces
 // as a PeerFailure on the survivors, which then restart from the last
 // sealed checkpoint. Rank 0 prints the global outcome.
+//
+// -fault-plan injects a seeded, deterministic fault schedule (delays,
+// reorders, duplicates, drop-then-retry, rank kills) underneath the TCP
+// transport. Every rank must be started with the identical plan string, as
+// both ends of a link derive the fault schedule from the shared seed:
+//
+//	chaosnode -rank R -addrs ... -fault-plan "seed=7,dup=0.05,reorder=0.1"
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"repro/internal/charmm"
 	"repro/internal/checkpoint"
 	"repro/internal/comm"
+	"repro/internal/comm/fault"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/dsmc"
@@ -56,6 +64,8 @@ func main() {
 	resume := flag.String("resume", "", `resume from a checkpoint directory, or "latest" under -ckpt-dir`)
 	crashStep := flag.Int("crash-step", 0, "inject a rank panic at step N (crash-recovery demo)")
 	crashRank := flag.Int("crash-rank", 0, "rank that crashes at -crash-step")
+	faultPlan := flag.String("fault-plan", "",
+		`deterministic fault plan, e.g. "seed=7,drop=0.01,retry=3:2e-5,dup=0.05,reorder=0.1,kill=1@200"; every rank must be started with the same plan`)
 	flag.Parse()
 
 	addrs := strings.Split(*addrList, ",")
@@ -68,10 +78,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chaosnode: checkpoint flags require -app charmm or -app dsmc")
 		os.Exit(2)
 	}
+	var tr comm.Transport
 	tr, err := comm.NewTCPEndpoint(*rank, addrs, *timeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaosnode:", err)
 		os.Exit(1)
+	}
+	if *faultPlan != "" {
+		plan, err := fault.Parse(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaosnode:", err)
+			os.Exit(2)
+		}
+		// All processes must be given the same plan string: both ends of a
+		// link derive the fault schedule from the shared seed.
+		tr = fault.Wrap(tr, n, plan)
 	}
 	defer tr.Close()
 

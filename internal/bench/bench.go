@@ -108,6 +108,22 @@ type Scale struct {
 	Dsmc7Mols    int
 	Dsmc7Steps   int
 	machineModel *costmodel.Machine
+	// Transport, when non-nil, supplies the transport every experiment runs
+	// over (e.g. a TCP mesh, or a fault-injected wrapper for testing the
+	// tables under wire misbehaviour). Nil means the in-memory transport.
+	Transport func(n int) (comm.Transport, error)
+}
+
+// run executes body as an n-rank program over the scale's transport.
+func (sc Scale) run(n int, body func(p *comm.Proc)) *comm.Report {
+	if sc.Transport == nil {
+		return comm.Run(n, sc.machineModel, body)
+	}
+	tr, err := sc.Transport(n)
+	if err != nil {
+		panic(fmt.Sprintf("bench: transport factory for %d ranks: %v", n, err))
+	}
+	return comm.RunTransport(n, sc.machineModel, tr, body)
 }
 
 // Full returns the paper-sized scale: 14026 atoms, up to 128 processors,
@@ -179,7 +195,7 @@ func (sc Scale) charmmConfig() charmm.Config {
 // over ranks.
 func (sc Scale) runCharmm(n int, cfg charmm.Config) (*comm.Report, map[string]float64) {
 	results := make([]*charmm.ProcResult, n)
-	rep := comm.Run(n, sc.machineModel, func(p *comm.Proc) {
+	rep := sc.run(n, func(p *comm.Proc) {
 		results[p.Rank()] = charmm.Run(p, cfg)
 	})
 	return rep, maxPhases(phasesOf(results))
@@ -306,7 +322,7 @@ func Table4(sc Scale) *Table {
 			for _, n := range sc.Dsmc2DProcs {
 				cfg := dsmc.Default2D(edge)
 				cfg.Mover = mover
-				rep := comm.Run(n, sc.machineModel, func(p *comm.Proc) {
+				rep := sc.run(n, func(p *comm.Proc) {
 					dsmc.Run(p, cfg)
 				})
 				row = append(row, f3(rep.MaxClock()))
@@ -330,7 +346,7 @@ func Table5(sc Scale) *Table {
 		Columns: append([]string{"Policy"}, append(intStrings(sc.Dsmc3DProcs), "Sequential")...),
 		Notes:   []string{"remapped every 40 time steps; drifting molecule concentration"},
 	}
-	seq := comm.Run(1, sc.machineModel, func(p *comm.Proc) {
+	seq := sc.run(1, func(p *comm.Proc) {
 		c := cfg
 		c.RemapEvery = 0
 		dsmc.Run(p, c)
@@ -350,7 +366,7 @@ func Table5(sc Scale) *Table {
 			c := cfg
 			c.Partitioner = pol.part
 			c.RemapEvery = pol.remap
-			rep := comm.Run(n, sc.machineModel, func(p *comm.Proc) {
+			rep := sc.run(n, func(p *comm.Proc) {
 				dsmc.Run(p, c)
 			})
 			row = append(row, f3(rep.MaxClock()))
@@ -389,7 +405,7 @@ func Table6(sc Scale) *Table {
 	for _, v := range variants {
 		for _, n := range sc.KernelProcs {
 			results := make([]*charmm.KernelResult, n)
-			comm.Run(n, sc.machineModel, func(p *comm.Proc) {
+			sc.run(n, func(p *comm.Proc) {
 				results[p.Rank()] = v.run(p, cfg)
 			})
 			var part, rem, insp, exec, total float64
@@ -439,7 +455,7 @@ func Table7(sc Scale) *Table {
 			c := cfg
 			c.Mover = v.mover
 			results := make([]*dsmc.ProcResult, n)
-			rep := comm.Run(n, sc.machineModel, func(p *comm.Proc) {
+			rep := sc.run(n, func(p *comm.Proc) {
 				results[p.Rank()] = dsmc.Run(p, c)
 			})
 			move := 0.0

@@ -1,0 +1,86 @@
+package comm_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// decodeGuarded calls decode and reports whether it panicked. A panic is the
+// documented response to a misaligned buffer; anything else must decode.
+func decodeGuarded(decode func()) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	decode()
+	return false
+}
+
+// FuzzDecodeInto feeds arbitrary byte strings — truncated, misaligned,
+// oversized — to the typed decoders. The contract under attack: an aligned
+// buffer decodes to exactly len(b)/width elements that re-encode to the same
+// bytes; a misaligned buffer panics with the documented message; and no
+// input may ever read or write out of bounds (the fuzzer runs under the race
+// and bounds-checking runtime, so OOB shows up as a crash, not a pass).
+func FuzzDecodeInto(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(make([]byte, 8*257)) // spans arena capacity classes
+	f.Add(comm.EncodeF64([]float64{0, 1, math.Inf(1), math.NaN(), -0.0}))
+	f.Add(comm.EncodeI32([]int32{math.MinInt32, -1, 0, math.MaxInt32}))
+	f.Add(comm.EncodeI64([]int64{math.MinInt64, -1, 0, math.MaxInt64}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Reused destinations with stale contents and spare capacity: the
+		// decoders must overwrite, never blend with or run past, old data.
+		dstF := make([]float64, 3, 16)
+		dstI32 := make([]int32, 3, 16)
+		dstI64 := make([]int64, 3, 16)
+		for i := range dstF {
+			dstF[i], dstI32[i], dstI64[i] = -1, -1, -1
+		}
+
+		var outF []float64
+		if panicked := decodeGuarded(func() { outF = comm.DecodeF64Into(dstF, b) }); panicked != (len(b)%8 != 0) {
+			t.Fatalf("DecodeF64Into(%d bytes): panicked=%v, want %v", len(b), panicked, len(b)%8 != 0)
+		} else if !panicked {
+			if len(outF) != len(b)/8 {
+				t.Fatalf("DecodeF64Into(%d bytes): %d elements, want %d", len(b), len(outF), len(b)/8)
+			}
+			if got := comm.EncodeF64(outF); string(got) != string(b) {
+				t.Fatalf("DecodeF64Into did not round-trip %d bytes", len(b))
+			}
+		}
+
+		var outI32 []int32
+		if panicked := decodeGuarded(func() { outI32 = comm.DecodeI32Into(dstI32, b) }); panicked != (len(b)%4 != 0) {
+			t.Fatalf("DecodeI32Into(%d bytes): panicked=%v, want %v", len(b), panicked, len(b)%4 != 0)
+		} else if !panicked {
+			if len(outI32) != len(b)/4 {
+				t.Fatalf("DecodeI32Into(%d bytes): %d elements, want %d", len(b), len(outI32), len(b)/4)
+			}
+			if got := comm.EncodeI32(outI32); string(got) != string(b) {
+				t.Fatalf("DecodeI32Into did not round-trip %d bytes", len(b))
+			}
+		}
+
+		var outI64 []int64
+		if panicked := decodeGuarded(func() { outI64 = comm.DecodeI64Into(dstI64, b) }); panicked != (len(b)%8 != 0) {
+			t.Fatalf("DecodeI64Into(%d bytes): panicked=%v, want %v", len(b), panicked, len(b)%8 != 0)
+		} else if !panicked {
+			if len(outI64) != len(b)/8 {
+				t.Fatalf("DecodeI64Into(%d bytes): %d elements, want %d", len(b), len(outI64), len(b)/8)
+			}
+			if got := comm.EncodeI64(outI64); string(got) != string(b) {
+				t.Fatalf("DecodeI64Into did not round-trip %d bytes", len(b))
+			}
+		}
+	})
+}

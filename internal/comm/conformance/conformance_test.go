@@ -1,0 +1,60 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/comm/conformance"
+	"repro/internal/comm/fault"
+)
+
+func memFactory(n int) (comm.Transport, error) { return comm.NewMemTransport(n), nil }
+
+func tcpFactory(n int) (comm.Transport, error) { return comm.NewTCPMesh(n) }
+
+// faultWrapped decorates a factory with a fault plan.
+func faultWrapped(f conformance.Factory, plan string) conformance.Factory {
+	return func(n int) (comm.Transport, error) {
+		inner, err := f(n)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := fault.Parse(plan)
+		if err != nil {
+			return nil, err
+		}
+		return fault.Wrap(inner, n, pl), nil
+	}
+}
+
+// benignPlan misbehaves on the wire without touching virtual time, so even
+// the exact-arrival conformance check holds.
+const benignPlan = "seed=42,dup=0.15,reorder=0.2"
+
+// noisyPlan adds drops with retries and extra latency on top; virtual
+// arrivals may only move later, which the suite tolerates.
+const noisyPlan = "seed=7,drop=0.1,retry=6:1e-6,dup=0.25,reorder=0.3,delay=0.2:5e-6"
+
+func TestMemConformance(t *testing.T) {
+	conformance.RunConformance(t, memFactory)
+}
+
+func TestTCPConformance(t *testing.T) {
+	conformance.RunConformance(t, tcpFactory)
+}
+
+func TestFaultMemConformance(t *testing.T) {
+	conformance.RunConformance(t, faultWrapped(memFactory, benignPlan))
+}
+
+func TestFaultTCPConformance(t *testing.T) {
+	conformance.RunConformance(t, faultWrapped(tcpFactory, benignPlan))
+}
+
+func TestFaultNoisyMemConformance(t *testing.T) {
+	conformance.RunConformance(t, faultWrapped(memFactory, noisyPlan))
+}
+
+func TestFaultNoisyTCPConformance(t *testing.T) {
+	conformance.RunConformance(t, faultWrapped(tcpFactory, noisyPlan))
+}

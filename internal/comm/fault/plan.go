@@ -1,0 +1,276 @@
+// Package fault provides a seeded, deterministic fault-injecting decorator
+// for comm.Transport. It models an unreliable wire — messages can be
+// delayed, reordered, duplicated, dropped-then-retried, or cut off entirely
+// — underneath a reliability sublayer that restores the Transport contract
+// (per-link FIFO, exactly-once delivery, tag matching), so the CHAOS runtime
+// above keeps computing correct answers while every misbehaviour path is
+// exercised.
+//
+// Determinism is the point: every fault decision is a pure function of
+// (plan seed, from, to, per-link sequence number), never of wall-clock time
+// or goroutine interleaving. Faults fire on message counts and perturb
+// virtual time only, so a run with the same seed and the same FaultPlan
+// replays the exact same fault trace — asserted by tests, and the property
+// that makes fault-injected CI failures reproducible on a laptop.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LinkFaults configures the per-message misbehaviour of one directed link.
+// All probabilities are in [0, 1]; zero values disable the fault.
+type LinkFaults struct {
+	// DropProb is the probability that one transmission attempt of a
+	// message is dropped. A dropped attempt is retried after RetryDelay
+	// virtual seconds; after RetryBudget consecutive drops of the same
+	// message the link is declared dead (cut).
+	DropProb float64
+	// RetryBudget is the maximum number of dropped attempts per message
+	// before the link is cut. Zero means DefaultRetryBudget.
+	RetryBudget int
+	// RetryDelay is the virtual-seconds penalty added to a message's
+	// arrival time per dropped attempt (a modeled retransmission timeout).
+	RetryDelay float64
+	// DupProb is the probability a message is transmitted twice. The
+	// receiver-side reassembly layer discards the duplicate.
+	DupProb float64
+	// ReorderProb is the probability a message is held back and emitted
+	// after the next message on the same link (an adjacent swap on the
+	// wire). Reassembly restores delivery order.
+	ReorderProb float64
+	// DelayProb is the probability a message suffers extra virtual
+	// latency, uniform in [0, MaxDelay).
+	DelayProb float64
+	// MaxDelay bounds the extra virtual latency in seconds.
+	MaxDelay float64
+}
+
+// DefaultRetryBudget is the per-message retry budget when
+// LinkFaults.RetryBudget is zero.
+const DefaultRetryBudget = 3
+
+// KillSpec schedules the hard kill of one rank: once the victim's
+// cumulative send count reaches AfterSends (when > 0), or one of its sends
+// departs at virtual time >= AfterVirtual (when > 0), the send is swallowed,
+// the victim's inbound links are poisoned, and the victim panics
+// comm.PeerFailure — the same failure shape as a crashed process.
+type KillSpec struct {
+	Rank         int
+	AfterSends   int
+	AfterVirtual float64
+}
+
+// Plan is a reproducible fault schedule: a seed, default per-link faults,
+// optional per-link overrides, and rank kill points.
+type Plan struct {
+	Seed uint64
+	// Link is the fault configuration applied to every link without an
+	// override in Links.
+	Link LinkFaults
+	// Links overrides Link for specific directed links, keyed by
+	// [2]int{from, to}.
+	Links map[[2]int]LinkFaults
+	// Kills lists rank hard-kill points.
+	Kills []KillSpec
+}
+
+// faultsFor returns the fault configuration of link (from, to).
+func (pl *Plan) faultsFor(from, to int) LinkFaults {
+	if lf, ok := pl.Links[[2]int{from, to}]; ok {
+		return lf
+	}
+	return pl.Link
+}
+
+// budget returns the effective retry budget.
+func (lf LinkFaults) budget() int {
+	if lf.RetryBudget > 0 {
+		return lf.RetryBudget
+	}
+	return DefaultRetryBudget
+}
+
+// Decision salts: each fault type draws from an independent deterministic
+// stream for the same (link, seq).
+const (
+	saltDrop    = 0x01
+	saltDup     = 0x02
+	saltReorder = 0x03
+	saltDelay   = 0x04
+	saltDelayU  = 0x05
+)
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// rnd returns a uniform float64 in [0, 1) that is a pure function of the
+// plan seed, the link, the per-link sequence number, and a salt (plus an
+// attempt counter for repeated draws like consecutive drop attempts).
+func (pl *Plan) rnd(from, to int, seq uint64, salt, attempt uint64) float64 {
+	x := splitmix64(pl.Seed ^ splitmix64(uint64(from)+1))
+	x = splitmix64(x ^ splitmix64(uint64(to)+1)<<1)
+	x = splitmix64(x ^ seq)
+	x = splitmix64(x ^ salt<<32 ^ attempt)
+	return float64(x>>11) / (1 << 53)
+}
+
+// Parse decodes the compact textual plan form used by command-line flags:
+//
+//	seed=42,drop=0.01,retry=3:2e-5,dup=0.02,reorder=0.05,delay=0.1:1e-5,kill=1@200,killv=2@0.5
+//
+// Fields (all optional, comma-separated):
+//
+//	seed=N        PRNG seed (default 1)
+//	drop=P        per-attempt drop probability
+//	retry=N:D     retry budget N and per-retry virtual delay D seconds
+//	dup=P         duplicate probability
+//	reorder=P     adjacent-swap probability
+//	delay=P:MAX   delay probability and maximum virtual delay in seconds
+//	kill=R@N      hard-kill rank R after its N-th send
+//	killv=R@T     hard-kill rank R at virtual send time >= T seconds
+func Parse(s string) (*Plan, error) {
+	pl := &Plan{Seed: 1}
+	if strings.TrimSpace(s) == "" {
+		return pl, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: field %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			pl.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "drop":
+			pl.Link.DropProb, err = parseProb(val)
+		case "dup":
+			pl.Link.DupProb, err = parseProb(val)
+		case "reorder":
+			pl.Link.ReorderProb, err = parseProb(val)
+		case "retry":
+			n, d, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("fault: retry wants N:D, got %q", val)
+			}
+			if pl.Link.RetryBudget, err = strconv.Atoi(n); err == nil {
+				pl.Link.RetryDelay, err = strconv.ParseFloat(d, 64)
+			}
+		case "delay":
+			p, mx, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("fault: delay wants P:MAX, got %q", val)
+			}
+			if pl.Link.DelayProb, err = parseProb(p); err == nil {
+				pl.Link.MaxDelay, err = strconv.ParseFloat(mx, 64)
+			}
+		case "kill", "killv":
+			r, at, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: %s wants R@N, got %q", key, val)
+			}
+			var k KillSpec
+			if k.Rank, err = strconv.Atoi(r); err != nil {
+				break
+			}
+			if key == "kill" {
+				k.AfterSends, err = strconv.Atoi(at)
+			} else {
+				k.AfterVirtual, err = strconv.ParseFloat(at, 64)
+			}
+			pl.Kills = append(pl.Kills, k)
+		default:
+			return nil, fmt.Errorf("fault: unknown field %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: field %q: %w", field, err)
+		}
+	}
+	return pl, nil
+}
+
+// parseProb parses a probability and validates its range.
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}
+
+// String renders the plan in the form Parse accepts (per-link overrides,
+// which have no textual form, are omitted).
+func (pl *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", pl.Seed)
+	lf := pl.Link
+	if lf.DropProb > 0 {
+		fmt.Fprintf(&b, ",drop=%g", lf.DropProb)
+	}
+	if lf.RetryBudget > 0 || lf.RetryDelay > 0 {
+		fmt.Fprintf(&b, ",retry=%d:%g", lf.budget(), lf.RetryDelay)
+	}
+	if lf.DupProb > 0 {
+		fmt.Fprintf(&b, ",dup=%g", lf.DupProb)
+	}
+	if lf.ReorderProb > 0 {
+		fmt.Fprintf(&b, ",reorder=%g", lf.ReorderProb)
+	}
+	if lf.DelayProb > 0 {
+		fmt.Fprintf(&b, ",delay=%g:%g", lf.DelayProb, lf.MaxDelay)
+	}
+	for _, k := range pl.Kills {
+		if k.AfterSends > 0 {
+			fmt.Fprintf(&b, ",kill=%d@%d", k.Rank, k.AfterSends)
+		}
+		if k.AfterVirtual > 0 {
+			fmt.Fprintf(&b, ",killv=%d@%g", k.Rank, k.AfterVirtual)
+		}
+	}
+	return b.String()
+}
+
+// Event is one fired fault, recorded for the reproducibility trace.
+type Event struct {
+	From, To int
+	Seq      uint64  // per-link message sequence number the fault fired on
+	Action   string  // "drop", "dup", "reorder", "delay", "cut", "kill"
+	N        int     // drop: number of dropped attempts; kill: send count
+	Delay    float64 // extra virtual seconds added to the arrival time
+}
+
+// String renders one trace line.
+func (e Event) String() string {
+	return fmt.Sprintf("%d->%d #%d %s n=%d delay=%g", e.From, e.To, e.Seq, e.Action, e.N, e.Delay)
+}
+
+// sortEvents orders a trace canonically: by link, then sequence number,
+// then action. Per-link decisions are pure functions of the seed, so the
+// sorted trace is identical across runs regardless of rank interleaving.
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Action < b.Action
+	})
+}

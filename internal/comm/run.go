@@ -105,6 +105,14 @@ func RunTransport(n int, m *costmodel.Machine, tr Transport, body func(p *Proc))
 			defer wg.Done()
 			p := NewProc(rank, n, tr, m)
 			defer func() {
+				// Tell decorating transports the rank is done: a fault
+				// injector holding a reorder frame on one of this rank's
+				// links must put it on the wire now, or a peer still
+				// waiting for it would block until Close — which only runs
+				// after that peer finishes.
+				if ro, ok := tr.(RankObserver); ok {
+					ro.RankDone(rank)
+				}
 				rep.Clocks[rank] = p.clock
 				rep.Stats[rank] = p.stats
 				if e := recover(); e != nil {
@@ -148,6 +156,11 @@ func RunTransport(n int, m *costmodel.Machine, tr Transport, body func(p *Proc))
 // owns transport cleanup.
 func RunRank(rank, n int, m *costmodel.Machine, tr Transport, body func(p *Proc)) (float64, Stats) {
 	p := NewProc(rank, n, tr, m)
+	defer func() {
+		if ro, ok := tr.(RankObserver); ok {
+			ro.RankDone(rank)
+		}
+	}()
 	body(p)
 	return p.clock, p.stats
 }

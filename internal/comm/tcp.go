@@ -20,19 +20,33 @@ import (
 // Frame format (little-endian): from int32, tag int32, arrive float64,
 // len int32, payload bytes.
 type TCPTransport struct {
-	n       int
-	rank    int // -1 for the coordinator handle returned by NewTCPCluster
-	boxes   []*mailbox
-	conns   []net.Conn // conns[to] on the sender side
-	writers []*bufio.Writer
-	wmu     []sync.Mutex
-	closed  sync.Once
-	wg      sync.WaitGroup
+	n     int
+	rank  int // -1 for the coordinator handle returned by NewTCPCluster
+	boxes []*mailbox
+	conns []net.Conn // conns[to] on the sender side
+	// sendBufs[to] stages one whole frame (header + payload) per send, so a
+	// message reaches the socket in a single Write and a failed write can be
+	// retried from the frame start. Reused across sends, guarded by wmu.
+	sendBufs [][]byte
+	wmu      []sync.Mutex
+	closed   sync.Once
+	wg       sync.WaitGroup
 	// recvArena recycles incoming payload buffers: the reader goroutine
 	// draws from it and the typed receive paths return buffers after
 	// decoding (payloads retained via raw Recv are simply never reclaimed).
 	recvArena byteArena
 }
+
+// Send-side retry policy: a failed frame write is retried with exponential
+// backoff as long as no byte of the frame reached the socket; once the
+// budget is exhausted (or the frame is torn mid-write) the link is declared
+// dead: the peer's inbound mailbox is poisoned so later Recvs from it fail
+// fast, and the sender panics PeerFailure instead of a raw I/O panic, so a
+// dead peer degrades into the same failure path a crashed rank takes.
+const (
+	sendRetryBudget  = 3
+	sendRetryBackoff = time.Millisecond
+)
 
 // NewTCPCluster builds n TCPTransport endpoints wired through loopback TCP.
 // Endpoint i must only be used by rank i. Closing any endpoint closes the
@@ -44,12 +58,12 @@ func NewTCPCluster(n int) ([]*TCPTransport, error) {
 	eps := make([]*TCPTransport, n)
 	for i := range eps {
 		eps[i] = &TCPTransport{
-			n:       n,
-			rank:    i,
-			boxes:   make([]*mailbox, n),
-			conns:   make([]net.Conn, n),
-			writers: make([]*bufio.Writer, n),
-			wmu:     make([]sync.Mutex, n),
+			n:        n,
+			rank:     i,
+			boxes:    make([]*mailbox, n),
+			conns:    make([]net.Conn, n),
+			sendBufs: make([][]byte, n),
+			wmu:      make([]sync.Mutex, n),
 		}
 		for j := range eps[i].boxes {
 			eps[i].boxes[j] = newMailbox()
@@ -130,7 +144,6 @@ func NewTCPCluster(n int) ([]*TCPTransport, error) {
 // attach registers conn as the link to peer and starts its reader.
 func (t *TCPTransport) attach(peer int, conn net.Conn) {
 	t.conns[peer] = conn
-	t.writers[peer] = bufio.NewWriter(conn)
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
@@ -171,26 +184,40 @@ func (t *TCPTransport) Send(m Message) {
 	}
 	t.wmu[m.To].Lock()
 	defer t.wmu[m.To].Unlock()
-	w := t.writers[m.To]
+	// Stage the whole frame so it reaches the socket in one Write.
+	buf := t.sendBufs[m.To][:0]
+	if cap(buf) < 20+len(m.Data) {
+		buf = make([]byte, 0, roundUp(20+len(m.Data)))
+	}
 	var hdr [20]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(m.From))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Tag))
 	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(m.Arrive))
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(m.Data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		panic(fmt.Sprintf("comm: tcp write header: %v", err))
-	}
-	if len(m.Data) > 0 {
-		if _, err := w.Write(m.Data); err != nil {
-			panic(fmt.Sprintf("comm: tcp write payload: %v", err))
-		}
-	}
-	if err := w.Flush(); err != nil {
-		panic(fmt.Sprintf("comm: tcp flush: %v", err))
-	}
-	// The payload is fully copied onto the wire, so a pooled staging buffer
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, m.Data...)
+	t.sendBufs[m.To] = buf
+	// The payload is fully copied into the frame, so a pooled staging buffer
 	// is reusable by the sender as soon as Send returns.
 	m.Release()
+
+	conn := t.conns[m.To]
+	written := 0
+	for attempt := 0; ; attempt++ {
+		n, err := conn.Write(buf[written:])
+		written += n
+		if err == nil {
+			return
+		}
+		// A torn frame (some bytes on the wire) cannot be retried without
+		// corrupting the stream; a frame that never started can, within the
+		// retry budget.
+		if written > 0 || attempt >= sendRetryBudget {
+			t.boxes[m.To].poison()
+			panic(PeerFailure{})
+		}
+		time.Sleep(sendRetryBackoff << attempt)
+	}
 }
 
 // Recv implements Transport.
@@ -206,6 +233,17 @@ func (t *TCPTransport) Poison() {
 	for _, mb := range t.boxes {
 		mb.poison()
 	}
+}
+
+// PoisonLink implements LinkPoisoner. A TCP endpoint only holds the
+// mailboxes of its own rank, so poisoning a link whose receiving side lives
+// in another process is a no-op here (that side is woken by its connection
+// dropping instead).
+func (t *TCPTransport) PoisonLink(to, from int) {
+	if to != t.rank || from < 0 || from >= t.n {
+		return
+	}
+	t.boxes[from].poison()
 }
 
 // Close implements Transport.
@@ -246,6 +284,14 @@ func (m *tcpMesh) Poison() {
 	}
 }
 
+// PoisonLink implements LinkPoisoner.
+func (m *tcpMesh) PoisonLink(to, from int) {
+	if to < 0 || to >= len(m.eps) {
+		return
+	}
+	m.eps[to].PoisonLink(to, from)
+}
+
 // Close implements Transport. It closes every endpoint and returns the
 // first teardown error.
 func (m *tcpMesh) Close() error {
@@ -271,12 +317,12 @@ func NewTCPEndpoint(rank int, addrs []string, timeout time.Duration) (*TCPTransp
 		return nil, fmt.Errorf("comm: rank %d out of range [0,%d)", rank, n)
 	}
 	t := &TCPTransport{
-		n:       n,
-		rank:    rank,
-		boxes:   make([]*mailbox, n),
-		conns:   make([]net.Conn, n),
-		writers: make([]*bufio.Writer, n),
-		wmu:     make([]sync.Mutex, n),
+		n:        n,
+		rank:     rank,
+		boxes:    make([]*mailbox, n),
+		conns:    make([]net.Conn, n),
+		sendBufs: make([][]byte, n),
+		wmu:      make([]sync.Mutex, n),
 	}
 	for i := range t.boxes {
 		t.boxes[i] = newMailbox()

@@ -70,6 +70,24 @@ type Poisoner interface {
 	Poison()
 }
 
+// LinkPoisoner is implemented by transports that can poison a single
+// directed link: after PoisonLink(to, from), a Recv on rank `to` for
+// messages from `from` panics PeerFailure once its pending queue drains,
+// instead of blocking forever. Fault injectors use this to model a killed
+// link without taking down the whole mesh.
+type LinkPoisoner interface {
+	PoisonLink(to, from int)
+}
+
+// RankObserver is implemented by decorating transports that buffer traffic
+// per rank (e.g. the fault injector's reorder hold) and need to know when a
+// rank's program has finished, so anything still buffered on its behalf can
+// be put on the wire while peers are still receiving. The runners call
+// RankDone exactly once per rank, after the rank's body returns or panics.
+type RankObserver interface {
+	RankDone(rank int)
+}
+
 // mailbox is an unbounded FIFO of messages from one sender with tag
 // matching: a receiver may ask for a specific tag and messages with other
 // tags stay queued.
@@ -158,4 +176,12 @@ func (t *MemTransport) Poison() {
 	for _, mb := range t.boxes {
 		mb.poison()
 	}
+}
+
+// PoisonLink implements LinkPoisoner for one directed (from -> to) link.
+func (t *MemTransport) PoisonLink(to, from int) {
+	if to < 0 || to >= t.n || from < 0 || from >= t.n {
+		panic(fmt.Sprintf("comm: PoisonLink with bad ranks to=%d from=%d n=%d", to, from, t.n))
+	}
+	t.boxes[to*t.n+from].poison()
 }

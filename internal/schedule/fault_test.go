@@ -1,0 +1,99 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/comm/fault"
+	"repro/internal/costmodel"
+	"repro/internal/hashtab"
+	"repro/internal/ttable"
+)
+
+// ghostExchangeChecksums runs the full CHAOS inspector/executor pipeline —
+// distributed translation-table dereference, hashed schedule build, gather,
+// scatter-add — over the given transport and returns one checksum per rank
+// covering every result that crossed the wire.
+func ghostExchangeChecksums(t *testing.T, n int, tr comm.Transport) []uint64 {
+	t.Helper()
+	const perProc = 11
+	nGlobals := n * perProc
+	sums := make([]uint64, n)
+	comm.RunTransport(n, costmodel.Uniform(1e-9), tr, func(p *comm.Proc) {
+		slab := make([]int32, perProc)
+		for i := range slab {
+			slab[i] = int32(p.Rank())
+		}
+		tt := ttable.Build(p, ttable.Distributed, slab)
+
+		// Collective dereference of an irregular, rank-dependent global list.
+		rng := propRng(7777 + uint64(p.Rank()))
+		globals := make([]int32, 29)
+		for i := range globals {
+			globals[i] = int32(rng.intn(nGlobals))
+		}
+		entries := tt.Dereference(p, globals)
+		var sum uint64
+		for _, e := range entries {
+			sum = sum*1099511628211 + uint64(uint32(e.Owner))<<32 + uint64(uint32(e.Offset))
+		}
+
+		// Hashed schedule build plus gather and scatter-add.
+		ht := hashtab.New(p, tt)
+		a := ht.NewStamp()
+		ht.Hash(globals, a)
+		sched := Build(p, ht, a, 0)
+		y := make([]float64, ht.NLocal()+ht.NGhosts())
+		for i := 0; i < tt.NLocal(p.Rank()); i++ {
+			y[i] = math.Sqrt(float64(p.Rank()*perProc+i) + 1)
+		}
+		Gather(p, sched, y)
+		for s := range ht.GhostGlobals() {
+			sum = sum*1099511628211 + math.Float64bits(y[ht.NLocal()+s])
+		}
+		for i := ht.NLocal(); i < len(y); i++ {
+			y[i] = float64(p.Rank() + 1)
+		}
+		Scatter(p, sched, y, OpAdd)
+		for i := 0; i < ht.NLocal(); i++ {
+			sum = sum*1099511628211 + math.Float64bits(y[i])
+		}
+		sums[p.Rank()] = sum
+	})
+	return sums
+}
+
+// TestGhostExchangeUnderFaults checks the whole runtime pipeline moves
+// byte-identical data over a clean in-memory transport, a fault-injected
+// in-memory transport, and a fault-injected TCP mesh. The plan duplicates
+// and reorders aggressively but leaves virtual time alone, so any
+// divergence is a real delivery bug, not a timing artifact.
+func TestGhostExchangeUnderFaults(t *testing.T) {
+	const n = 3
+	const planStr = "seed=202,dup=0.3,reorder=0.35"
+	plan, err := fault.Parse(planStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := ghostExchangeChecksums(t, n, comm.NewMemTransport(n))
+
+	faultMem := ghostExchangeChecksums(t, n, fault.Wrap(comm.NewMemTransport(n), n, plan))
+	for r := range want {
+		if faultMem[r] != want[r] {
+			t.Errorf("fault-injected mem transport: rank %d checksum %x, clean run %x", r, faultMem[r], want[r])
+		}
+	}
+
+	mesh, err := comm.NewTCPMesh(n)
+	if err != nil {
+		t.Fatalf("NewTCPMesh(%d): %v", n, err)
+	}
+	faultTCP := ghostExchangeChecksums(t, n, fault.Wrap(mesh, n, plan))
+	for r := range want {
+		if faultTCP[r] != want[r] {
+			t.Errorf("fault-injected TCP transport: rank %d checksum %x, clean run %x", r, faultTCP[r], want[r])
+		}
+	}
+}

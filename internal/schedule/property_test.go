@@ -1,0 +1,137 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/hashtab"
+	"repro/internal/ttable"
+)
+
+// propRng is a tiny deterministic PRNG (SplitMix64) so the 200 mutation
+// trials are reproducible byte for byte.
+type propRng uint64
+
+func (r *propRng) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	x := uint64(*r)
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (r *propRng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// TestIncrementalAndMergedScheduleEquivalence is the paper's central
+// schedule-reuse claim as a property test: for any pair of indirection
+// arrays, gathering with (sched_A, then incremental sched_{B-A}) or with the
+// merged sched_{A|B} moves byte-identical data to gathering with both
+// schedules built from scratch. The index arrays random-walk through 200
+// seeded mutations, rebuilding the hash table each trial.
+func TestIncrementalAndMergedScheduleEquivalence(t *testing.T) {
+	const (
+		nprocs   = 3
+		perProc  = 13 // globals per processor (block distribution)
+		nIndex   = 17 // entries per indirection array per rank
+		nTrials  = 200
+		nMutates = 5 // index entries rewritten per trial
+	)
+	nGlobals := nprocs * perProc
+
+	comm.Run(nprocs, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		slab := make([]int32, perProc)
+		for i := range slab {
+			slab[i] = int32(p.Rank())
+		}
+		tt := ttable.Build(p, ttable.Replicated, slab)
+		ht := hashtab.New(p, tt)
+
+		// Every rank evolves its own pair of indirection arrays; the seeds
+		// differ per rank so the communication pattern is irregular.
+		rng := propRng(1e9*uint64(p.Rank()) + 12345)
+		ia := make([]int32, nIndex)
+		ib := make([]int32, nIndex)
+		for i := range ia {
+			ia[i] = int32(rng.intn(nGlobals))
+			ib[i] = int32(rng.intn(nGlobals))
+		}
+		value := func(g int32) float64 { return math.Sqrt(float64(g)+1) * 1.25 }
+
+		for trial := 0; trial < nTrials; trial++ {
+			// Mutate a few entries of each index array — the "adaptive"
+			// step that invalidates part of the previous schedule.
+			for k := 0; k < nMutates; k++ {
+				ia[rng.intn(nIndex)] = int32(rng.intn(nGlobals))
+				ib[rng.intn(nIndex)] = int32(rng.intn(nGlobals))
+			}
+
+			ht.Reset(tt)
+			a := ht.NewStamp()
+			b := ht.NewStamp()
+			ht.Hash(ia, a)
+			ht.Hash(ib, b)
+
+			schedA := Build(p, ht, a, 0)
+			schedB := Build(p, ht, b, 0)
+			incB := Build(p, ht, b, a)
+			merged := Build(p, ht, a|b, 0)
+
+			if got, limit := incB.TotalFetch(), schedB.TotalFetch(); got > limit {
+				t.Errorf("trial %d rank %d: incremental schedule fetches %d > from-scratch %d", trial, p.Rank(), got, limit)
+				return
+			}
+			if got, limit := merged.TotalFetch(), schedA.TotalFetch()+schedB.TotalFetch(); got > limit {
+				t.Errorf("trial %d rank %d: merged schedule fetches %d > separate schedules' %d", trial, p.Rank(), got, limit)
+				return
+			}
+
+			// Gather under each strategy into its own NaN-poisoned buffer.
+			size := ht.NLocal() + ht.NGhosts()
+			gather := func(scheds ...*Schedule) []float64 {
+				y := make([]float64, size)
+				for i := range y {
+					y[i] = math.NaN()
+				}
+				for i := 0; i < tt.NLocal(p.Rank()); i++ {
+					y[i] = value(int32(p.Rank()*perProc + i))
+				}
+				for _, s := range scheds {
+					Gather(p, s, y)
+				}
+				return y
+			}
+			scratch := gather(schedA, schedB)
+			incremental := gather(schedA, incB)
+			mergedOnce := gather(merged)
+
+			// Byte-identical, NaN bit patterns included: an unwritten ghost
+			// slot in one variant but not another fails the comparison.
+			for i := 0; i < size; i++ {
+				w := math.Float64bits(scratch[i])
+				if math.Float64bits(incremental[i]) != w {
+					t.Errorf("trial %d rank %d slot %d: incremental gather %v != from-scratch %v",
+						trial, p.Rank(), i, incremental[i], scratch[i])
+					return
+				}
+				if math.Float64bits(mergedOnce[i]) != w {
+					t.Errorf("trial %d rank %d slot %d: merged gather %v != from-scratch %v",
+						trial, p.Rank(), i, mergedOnce[i], scratch[i])
+					return
+				}
+			}
+			// And every stamped ghost actually arrived with its owner's
+			// value — equivalence alone would pass if all variants were
+			// equally wrong.
+			gg := ht.GhostGlobals()
+			for s, g := range gg {
+				if scratch[ht.NLocal()+s] != value(g) {
+					t.Errorf("trial %d rank %d: ghost for global %d = %v, want %v",
+						trial, p.Rank(), g, scratch[ht.NLocal()+s], value(g))
+					return
+				}
+			}
+		}
+	})
+}
