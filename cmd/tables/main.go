@@ -4,14 +4,15 @@
 //
 // Usage:
 //
-//	tables [-quick] [-table N] [-datamotion] [-markdown | -json]
+//	tables [-quick] [-table N] [-datamotion] [-inspector] [-markdown | -json]
 //
 // Without -table, all tables run. -quick uses the shrunken scale (seconds
 // instead of minutes of wall time). -markdown emits GitHub-flavoured
 // markdown instead of aligned text; -json emits newline-delimited JSON,
 // one record per table row, for downstream tooling. -datamotion runs only
 // the wall-clock data-motion microbenchmark table (ns/op and allocs/op of
-// the executor collectives, not virtual time).
+// the executor collectives, not virtual time); -inspector likewise runs
+// only the wall-clock adaptive-inspector benchmark table.
 package main
 
 import (
@@ -29,8 +30,9 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown output")
 	jsonOut := flag.Bool("json", false, "emit newline-delimited JSON, one record per table row")
 	datamotion := flag.Bool("datamotion", false, "run only the wall-clock data-motion benchmark table")
+	inspector := flag.Bool("inspector", false, "run only the wall-clock adaptive-inspector benchmark table")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-markdown | -json]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-inspector] [-markdown | -json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,13 +51,16 @@ func main() {
 	if *quick {
 		sc = bench.Quick()
 	}
-	if *datamotion {
-		if *table != 0 {
-			fmt.Fprintln(os.Stderr, "tables: -datamotion and -table are mutually exclusive")
+	if *datamotion || *inspector {
+		if *table != 0 || (*datamotion && *inspector) {
+			fmt.Fprintln(os.Stderr, "tables: -datamotion, -inspector and -table are mutually exclusive")
 			flag.Usage()
 			os.Exit(2)
 		}
 		t := bench.DataMotion()
+		if *inspector {
+			t = bench.Inspector()
+		}
 		switch {
 		case *jsonOut:
 			if err := t.WriteJSON(os.Stdout, sc.Name); err != nil {

@@ -58,7 +58,8 @@ func main() {
 			}
 			gg := ht.GhostGlobals()
 			var elems []int
-			for _, slots := range s.RecvSlot {
+			for r := 0; r < s.NProcs(); r++ {
+				slots := s.RecvSlots(r)
 				for _, slot := range slots {
 					elems = append(elems, int(gg[int(slot)-ht.NLocal()])+1) // 1-based
 				}

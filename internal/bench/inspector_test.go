@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/schedule"
+)
+
+// The inspector benchmarks time the adaptive hot path on a warm table:
+// rehashing a large indirection array, the clear+rehash adapt cycle, and
+// the incremental schedule rebuild. Allocations are reported across all
+// ranks (the testing package reads global memstats).
+
+func BenchmarkInspectorHash(b *testing.B) {
+	b.ReportAllocs()
+	comm.Run(4, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		ht, refs, _ := inspEnv(p, 4096, 8192, 7)
+		s := ht.NewStamp()
+		loc := ht.HashInto(nil, refs, s)
+		if p.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			loc = ht.HashInto(loc, refs, s)
+		}
+	})
+}
+
+func BenchmarkInspectorAdaptRehash(b *testing.B) {
+	b.ReportAllocs()
+	comm.Run(4, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		ht, refs, _ := inspEnv(p, 4096, 8192, 7)
+		s := ht.NewStamp()
+		loc := ht.HashInto(nil, refs, s)
+		if p.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			ht.ClearStamp(s)
+			loc = ht.HashInto(loc, refs, s)
+		}
+	})
+}
+
+func BenchmarkInspectorIncrementalBuild(b *testing.B) {
+	b.ReportAllocs()
+	comm.Run(4, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		ht, refsA, refsB := inspEnv(p, 4096, 8192, 7)
+		sa := ht.NewStamp()
+		sb := ht.NewStamp()
+		ht.HashInto(nil, refsA, sa)
+		schedule.Build(p, ht, sa, 0)
+		loc := ht.HashInto(nil, refsB, sb)
+		sched := schedule.Build(p, ht, sb, sa)
+		if p.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			ht.ClearStamp(sb)
+			loc = ht.HashInto(loc, refsB, sb)
+			sched = schedule.BuildInto(sched, p, ht, sb, sa)
+		}
+	})
+}

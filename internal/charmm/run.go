@@ -129,7 +129,7 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, *simState) {
 			p.Barrier()
 			timer.Mark(PhaseNBUpdate)
 			s.ht.ClearStamp(s.sNB)
-			s.locJnb = s.ht.Hash(s.jnb, s.sNB)
+			s.locJnb = s.ht.HashInto(s.locJnb, s.jnb, s.sNB)
 			rebuildSchedules(p, s, cfg)
 			p.Barrier()
 			timer.Mark(PhaseSchedRegen)
@@ -301,9 +301,9 @@ func buildInspector(p *comm.Proc, s *simState, cfg Config) {
 	}
 	s.sBond = s.ht.NewStamp()
 	s.sNB = s.ht.NewStamp()
-	s.locBI = s.ht.Hash(s.bondI, s.sBond)
-	s.locBJ = s.ht.Hash(s.bondJ, s.sBond)
-	s.locJnb = s.ht.Hash(s.jnb, s.sNB)
+	s.locBI = s.ht.HashInto(s.locBI, s.bondI, s.sBond)
+	s.locBJ = s.ht.HashInto(s.locBJ, s.bondJ, s.sBond)
+	s.locJnb = s.ht.HashInto(s.locJnb, s.jnb, s.sNB)
 	rebuildSchedules(p, s, cfg)
 }
 
@@ -311,12 +311,12 @@ func buildInspector(p *comm.Proc, s *simState, cfg Config) {
 // per-loop schedules from the current stamps.
 func rebuildSchedules(p *comm.Proc, s *simState, cfg Config) {
 	if cfg.Merged {
-		s.sched = schedule.Build(p, s.ht, s.sBond|s.sNB, 0)
+		s.sched = schedule.BuildInto(s.sched, p, s.ht, s.sBond|s.sNB, 0)
 		s.schedB, s.schedNB = nil, nil
 		return
 	}
-	s.schedB = schedule.Build(p, s.ht, s.sBond, 0)
-	s.schedNB = schedule.Build(p, s.ht, s.sNB, 0)
+	s.schedB = schedule.BuildInto(s.schedB, p, s.ht, s.sBond, 0)
+	s.schedNB = schedule.BuildInto(s.schedNB, p, s.ht, s.sNB, 0)
 	s.sched = nil
 }
 

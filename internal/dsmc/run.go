@@ -74,6 +74,7 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, []float64) {
 		}
 	}
 
+	var sc moveScratch
 	for step := startStep + 1; step <= cfg.Steps; step++ {
 		if cfg.CrashStep > 0 && step == cfg.CrashStep && p.Rank() == cfg.CrashRank {
 			panic(fmt.Sprintf("dsmc: injected crash on rank %d at step %d", p.Rank(), step))
@@ -82,7 +83,7 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, []float64) {
 		case MoverLight:
 			mols = moveLight(p, &cfg, cells, mols)
 		case MoverRegular:
-			mols = moveRegular(p, &cfg, cells, mols)
+			mols = moveRegular(p, &cfg, cells, mols, &sc)
 		case MoverCompiler:
 			mols = moveCompiler(p, &cfg, cells, mols)
 		}
@@ -149,16 +150,48 @@ func moveCompiler(p *comm.Proc, cfg *Config, cells *core.Dist, mols []float64) [
 	return recv
 }
 
+// cellReq is one (cell, molecule count) slot-reservation request.
+type cellReq struct {
+	cell  int32
+	count int32
+}
+
+// moveScratch holds moveRegular's per-step working storage. The runner
+// reuses it across steps, so the slot-reservation pass (which the paper's
+// Table 4 charges every step by design) stops allocating scratch once warm;
+// the modeled per-step cost is unchanged.
+type moveScratch struct {
+	dest     []int32
+	molSeq   []int32
+	owners   []int32
+	offsets  []int32
+	perOwner [][]cellReq
+	// reqPos[c] is 1 + the index of cell c's request in its owner's list,
+	// or 0 when c has no request this step; touched lists the cells set,
+	// for an O(touched) end-of-step reset.
+	reqPos  []int32
+	touched []int32
+}
+
+// sizedI32 returns scratch of exactly n elements backed by *buf.
+func sizedI32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // moveRegular is the MOVE phase with a regular communication schedule, as
 // contrasted in Table 4: every molecule is assigned a placement slot in a
 // global new_cells array (cells x SlotCap), destination slots are reserved
 // through the cells' owners, indices are translated, and a schedule with
 // permutation lists is built and executed — all of it redone every step
 // because the access pattern changes every step.
-func moveRegular(p *comm.Proc, cfg *Config, cells *core.Dist, mols []float64) []float64 {
+func moveRegular(p *comm.Proc, cfg *Config, cells *core.Dist, mols []float64, sc *moveScratch) []float64 {
 	n := len(mols) / recordWidth
 	tt := cells.TT()
-	dest := make([]int32, n)
+	dest := sizedI32(&sc.dest, n)
 	for i := 0; i < n; i++ {
 		rec := mols[i*recordWidth : (i+1)*recordWidth]
 		advance(cfg, rec, cfg.Dt)
@@ -167,22 +200,30 @@ func moveRegular(p *comm.Proc, cfg *Config, cells *core.Dist, mols []float64) []
 	p.ComputeFlops(moveFlopsPerMol * n)
 
 	// Slot reservation: send (cell, count) pairs to each destination
-	// cell's owner; owners assign bases in rank order and reply.
-	type cellReq struct {
-		cell  int32
-		count int32
+	// cell's owner; owners assign bases in rank order and reply. The
+	// cell-request index is a flat per-cell array (1+list index, 0 = not
+	// yet requested) reset via the touched list, not a per-step map.
+	if cap(sc.perOwner) < p.Size() {
+		sc.perOwner = make([][]cellReq, p.Size())
 	}
-	perOwner := make([][]cellReq, p.Size())
-	reqPos := map[int32]int{} // cell -> index into its owner's request list
-	molSeq := make([]int32, n)
+	perOwner := sc.perOwner[:p.Size()]
+	for r := range perOwner {
+		perOwner[r] = perOwner[r][:0]
+	}
+	if len(sc.reqPos) < cfg.NCells() {
+		sc.reqPos = make([]int32, cfg.NCells())
+	}
+	sc.touched = sc.touched[:0]
+	molSeq := sizedI32(&sc.molSeq, n)
 	for i := 0; i < n; i++ {
 		c := dest[i]
 		o := tt.OwnerOf(int(c))
-		if k, ok := reqPos[c]; ok {
-			perOwner[o][k].count++
-			molSeq[i] = perOwner[o][k].count - 1
+		if k := sc.reqPos[c]; k > 0 {
+			perOwner[o][k-1].count++
+			molSeq[i] = perOwner[o][k-1].count - 1
 		} else {
-			reqPos[c] = len(perOwner[o])
+			sc.reqPos[c] = int32(len(perOwner[o]) + 1)
+			sc.touched = append(sc.touched, c)
 			perOwner[o] = append(perOwner[o], cellReq{cell: c, count: 1})
 			molSeq[i] = 0
 		}
@@ -229,14 +270,17 @@ func moveRegular(p *comm.Proc, cfg *Config, cells *core.Dist, mols []float64) []
 	}
 
 	// Translate each molecule's slot to (owner, offset).
-	owners := make([]int32, n)
-	offsets := make([]int32, n)
+	owners := sizedI32(&sc.owners, n)
+	offsets := sizedI32(&sc.offsets, n)
 	for i := 0; i < n; i++ {
 		c := dest[i]
 		o := tt.OwnerOf(int(c))
 		owners[i] = o
-		k := reqPos[c]
+		k := sc.reqPos[c] - 1
 		offsets[i] = (tt.OffsetOf(int(c)))*int32(cfg.SlotCap) + bases[o][k] + molSeq[i]
+	}
+	for _, c := range sc.touched {
+		sc.reqPos[c] = 0
 	}
 	p.ComputeMem(3 * n)
 

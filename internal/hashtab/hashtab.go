@@ -13,6 +13,14 @@
 //   - index-analysis reuse: when an indirection array adapts, its stamp is
 //     cleared and the new contents rehashed; indices already present need
 //     only a probe and a stamp mark, not a translation-table dereference.
+//
+// The index is a custom open-addressing table rather than a Go map: slots
+// are a power-of-two array of (key, entry index) pairs probed linearly, so
+// the rehash loop that dominates adaptive inspector cost touches one cache
+// line per probe and allocates nothing in steady state. The modeled
+// memory-operation charges are per hashed index and per inserted entry,
+// exactly as they were for the map-backed table, so virtual-time results
+// are unchanged by the representation.
 package hashtab
 
 import (
@@ -49,6 +57,16 @@ type Entry struct {
 	Stamps Stamp
 }
 
+// slot is one open-addressing index cell: the global index inline with the
+// position of its entry in the entries slice. ref < 0 marks an empty slot.
+type slot struct {
+	key int32
+	ref int32
+}
+
+// minSlots is the smallest slot-array size (power of two).
+const minSlots = 16
+
 // Table is a per-processor inspector hash table bound to one translation
 // table (one distribution). It is not safe for concurrent use.
 type Table struct {
@@ -56,15 +74,18 @@ type Table struct {
 	tt     *ttable.Table
 	nLocal int
 
-	idx       map[int32]int32 // global -> index into entries
+	// Open-addressing index over entries: power-of-two length, linear
+	// probing, grown at 3/4 occupancy.
+	slots     []slot
+	mask      uint32
 	entries   []Entry
 	nGhosts   int
 	nextStamp uint
 
 	// Hash scratch, reused across calls so repeated adapt cycles
 	// (ClearStamp/Reset + rehash) stop allocating once warm.
-	seen    map[int32]bool
 	unknown []int32
+	ents    []ttable.Entry
 
 	// Counters for ablation studies and tests.
 	probes       int64 // hash probes performed
@@ -73,11 +94,67 @@ type Table struct {
 
 // New creates an empty hash table for the distribution described by tt.
 func New(p *comm.Proc, tt *ttable.Table) *Table {
-	return &Table{
+	t := &Table{
 		p:      p,
 		tt:     tt,
 		nLocal: tt.NLocal(p.Rank()),
-		idx:    make(map[int32]int32),
+	}
+	t.initSlots(minSlots)
+	return t
+}
+
+// initSlots resets the slot array to n empty cells (n a power of two).
+func (t *Table) initSlots(n int) {
+	if cap(t.slots) >= n {
+		t.slots = t.slots[:n]
+	} else {
+		t.slots = make([]slot, n)
+	}
+	for i := range t.slots {
+		t.slots[i].ref = -1
+	}
+	t.mask = uint32(n - 1)
+}
+
+// home returns the preferred slot for a key (Fibonacci hashing: the
+// multiplicative constant spreads consecutive globals, the usual shape of
+// indirection arrays, across the table).
+func (t *Table) home(g int32) uint32 {
+	return (uint32(g) * 2654435769) & t.mask
+}
+
+// probe walks the cluster for g. It returns the entry reference stored for
+// g, or -1 with pos naming the empty slot where g would be inserted.
+func (t *Table) probe(g int32) (pos uint32, ref int32) {
+	pos = t.home(g)
+	for {
+		s := t.slots[pos]
+		if s.ref < 0 {
+			return pos, -1
+		}
+		if s.key == g {
+			return pos, s.ref
+		}
+		pos = (pos + 1) & t.mask
+	}
+}
+
+// grow doubles the slot array and reinserts every occupied cell. Keys are
+// stored inline, so growth never touches the entries slice (which may hold
+// fewer entries than live slots mid-Hash, when unknowns are pending).
+func (t *Table) grow() {
+	old := t.slots
+	t.slots = nil // old aliases the live backing; initSlots must not reuse it
+	t.initSlots(2 * len(old))
+	for _, s := range old {
+		if s.ref < 0 {
+			continue
+		}
+		pos := t.home(s.key)
+		for t.slots[pos].ref >= 0 {
+			pos = (pos + 1) & t.mask
+		}
+		t.slots[pos] = s
 	}
 }
 
@@ -85,12 +162,15 @@ func New(p *comm.Proc, tt *ttable.Table) *Table {
 // and drops every cached entry, ghost slot and stamp. After a checkpoint
 // restore or repartition the cached (owner, offset) translations are stale,
 // so the inspector must rebuild from a clean table rather than reuse them.
-// The map and entry storage are retained, so adapt cycles that reset and
-// rehash similarly sized index sets do not regrow the table from scratch.
+// The slot array and entry storage are retained, so adapt cycles that reset
+// and rehash similarly sized index sets do not regrow the table from
+// scratch.
 func (t *Table) Reset(tt *ttable.Table) {
 	t.tt = tt
 	t.nLocal = tt.NLocal(t.p.Rank())
-	clear(t.idx)
+	for i := range t.slots {
+		t.slots[i].ref = -1
+	}
 	t.entries = t.entries[:0]
 	t.nGhosts = 0
 	t.nextStamp = 0
@@ -126,23 +206,33 @@ func (t *Table) Probes() int64 { return t.probes }
 func (t *Table) Translations() int64 { return t.translations }
 
 // Hash enters the given global indices into the table (CHAOS_hash), marking
-// each with stamp, and returns the localized index for each input position.
-// Duplicate globals share one entry. For Distributed/Paged translation
-// tables this is a collective call, because unknown indices must be
-// dereferenced.
+// each with stamp, and returns the localized index for each input position
+// in a freshly allocated slice. Duplicate globals share one entry. For
+// Distributed/Paged translation tables this is a collective call, because
+// unknown indices must be dereferenced. Hot callers that rehash every adapt
+// cycle should use HashInto with a retained buffer instead.
 func (t *Table) Hash(globals []int32, stamp Stamp) []int32 {
-	// Pass 1: probe; collect unknown globals (each once). The seen set and
-	// unknown list are table-owned scratch reused across calls.
-	if t.seen == nil {
-		t.seen = make(map[int32]bool)
-	} else {
-		clear(t.seen)
-	}
-	seen := t.seen
+	return t.HashInto(nil, globals, stamp)
+}
+
+// HashInto is Hash writing the localized indices into dst's backing array
+// (grown as needed; dst may be nil). Feeding the previous result back each
+// adapt cycle makes steady-state rehashing allocation-free.
+func (t *Table) HashInto(dst []int32, globals []int32, stamp Stamp) []int32 {
+	// Pass 1: probe; unknown globals (each once) claim their slot
+	// immediately, with entry references past the current end of the
+	// entries slice, so in-stream duplicates resolve to the pending entry
+	// without a side lookup structure.
 	unknown := t.unknown[:0]
 	for _, g := range globals {
-		if _, ok := t.idx[g]; !ok && !seen[g] {
-			seen[g] = true
+		pos, ref := t.probe(g)
+		if ref < 0 {
+			// Keep occupancy (live entries + pending unknowns) <= 3/4.
+			if 4*(len(t.entries)+len(unknown)+1) > 3*len(t.slots) {
+				t.grow()
+				pos, _ = t.probe(g)
+			}
+			t.slots[pos] = slot{key: g, ref: int32(len(t.entries) + len(unknown))}
 			unknown = append(unknown, g)
 		}
 	}
@@ -152,16 +242,15 @@ func (t *Table) Hash(globals []int32, stamp Stamp) []int32 {
 
 	// Translate the unknowns and insert entries.
 	if len(unknown) > 0 || t.tt.Kind() != ttable.Replicated {
-		ents := t.tt.Dereference(t.p, unknown)
+		t.ents = t.tt.DereferenceInto(t.p, unknown, t.ents)
 		for i, g := range unknown {
-			e := Entry{Global: g, Owner: ents[i].Owner, Offset: ents[i].Offset}
+			e := Entry{Global: g, Owner: t.ents[i].Owner, Offset: t.ents[i].Offset}
 			if int(e.Owner) == t.p.Rank() {
 				e.Local = e.Offset
 			} else {
 				e.Local = int32(t.nLocal + t.nGhosts)
 				t.nGhosts++
 			}
-			t.idx[g] = int32(len(t.entries))
 			t.entries = append(t.entries, e)
 		}
 		t.translations += int64(len(unknown))
@@ -169,14 +258,17 @@ func (t *Table) Hash(globals []int32, stamp Stamp) []int32 {
 	}
 
 	// Pass 2: mark stamps and produce localized indices.
-	out := make([]int32, len(globals))
+	if cap(dst) < len(globals) {
+		dst = make([]int32, len(globals))
+	}
+	dst = dst[:len(globals)]
 	for i, g := range globals {
-		k := t.idx[g]
-		t.entries[k].Stamps |= stamp
-		out[i] = t.entries[k].Local
+		_, ref := t.probe(g)
+		t.entries[ref].Stamps |= stamp
+		dst[i] = t.entries[ref].Local
 	}
 	t.p.ComputeMem(stampMemOps * len(globals))
-	return out
+	return dst
 }
 
 // ClearStamp removes stamp from every entry. Entries whose stamp set becomes
@@ -194,17 +286,24 @@ func (t *Table) ClearStamp(stamp Stamp) {
 // construction uses this to build regular (include = one stamp), merged
 // (include = union) and incremental (exclude = earlier stamps) schedules.
 func (t *Table) Select(include, exclude Stamp) []Entry {
+	return t.SelectInto(nil, include, exclude)
+}
+
+// SelectInto is Select appending into dst's backing array (dst may be nil).
+// Callers that rebuild schedules every adapt cycle pass a retained scratch
+// slice so selection allocates nothing in steady state.
+func (t *Table) SelectInto(dst []Entry, include, exclude Stamp) []Entry {
 	if include == 0 {
 		panic("hashtab: Select with empty include mask")
 	}
-	var out []Entry
+	dst = dst[:0]
 	for _, e := range t.entries {
 		if e.Stamps&include != 0 && e.Stamps&exclude == 0 {
-			out = append(out, e)
+			dst = append(dst, e)
 		}
 	}
 	t.p.ComputeMem(len(t.entries))
-	return out
+	return dst
 }
 
 // GhostGlobals returns the global index assigned to each ghost slot, in
@@ -222,11 +321,11 @@ func (t *Table) GhostGlobals() []int32 {
 
 // Lookup returns the entry for a global index, if present.
 func (t *Table) Lookup(g int32) (Entry, bool) {
-	k, ok := t.idx[g]
-	if !ok {
+	_, ref := t.probe(g)
+	if ref < 0 {
 		return Entry{}, false
 	}
-	return t.entries[k], true
+	return t.entries[ref], true
 }
 
 // String summarizes the table for debugging.

@@ -294,3 +294,142 @@ func TestAdaptCyclesBoundedAllocs(t *testing.T) {
 		}
 	})
 }
+
+// refModel is a map-backed reference implementation of the table semantics
+// the open-addressing index must preserve: first-appearance entry order,
+// duplicate removal, ghost-slot assignment order, stamp accumulation.
+type refModel struct {
+	rank    int
+	nLocal  int
+	tt      *ttable.Table
+	idx     map[int32]int
+	entries []Entry
+	nGhosts int
+}
+
+func newRefModel(p *comm.Proc, tt *ttable.Table) *refModel {
+	return &refModel{rank: p.Rank(), nLocal: tt.NLocal(p.Rank()), tt: tt, idx: map[int32]int{}}
+}
+
+func (m *refModel) hash(globals []int32, stamp Stamp) []int32 {
+	loc := make([]int32, len(globals))
+	for i, g := range globals {
+		k, ok := m.idx[g]
+		if !ok {
+			e := Entry{Global: g, Owner: m.tt.OwnerOf(int(g)), Offset: m.tt.OffsetOf(int(g))}
+			if int(e.Owner) == m.rank {
+				e.Local = e.Offset
+			} else {
+				e.Local = int32(m.nLocal + m.nGhosts)
+				m.nGhosts++
+			}
+			k = len(m.entries)
+			m.entries = append(m.entries, e)
+			m.idx[g] = k
+		}
+		m.entries[k].Stamps |= stamp
+		loc[i] = m.entries[k].Local
+	}
+	return loc
+}
+
+func (m *refModel) clearStamp(stamp Stamp) {
+	for i := range m.entries {
+		m.entries[i].Stamps &^= stamp
+	}
+}
+
+func (m *refModel) sel(include, exclude Stamp) []Entry {
+	var out []Entry
+	for _, e := range m.entries {
+		if e.Stamps&include != 0 && e.Stamps&exclude == 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestRandomizedEquivalenceWithMapModel drives the open-addressing table and
+// the map-backed reference model through the same randomized workload —
+// duplicated references, several stamps, periodic stamp clears — and checks
+// localized indices, entry order, ghost-slot order, Select filtering and
+// Lookup agree at every step. Replicated table, so ranks evolve
+// independently without collectives.
+func TestRandomizedEquivalenceWithMapModel(t *testing.T) {
+	const n, rounds = 256, 40
+	comm.Run(4, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		tt := buildBlockTable(p, n)
+		ht := New(p, tt)
+		model := newRefModel(p, tt)
+		rng := rand.New(rand.NewSource(int64(1000 + p.Rank())))
+		stamps := []Stamp{ht.NewStamp(), ht.NewStamp(), ht.NewStamp()}
+		for round := 0; round < rounds; round++ {
+			st := stamps[rng.Intn(len(stamps))]
+			if rng.Intn(4) == 0 {
+				ht.ClearStamp(st)
+				model.clearStamp(st)
+			}
+			gs := make([]int32, 1+rng.Intn(64))
+			for i := range gs {
+				gs[i] = int32(rng.Intn(n))
+			}
+			got := ht.Hash(gs, st)
+			want := model.hash(gs, st)
+			for i := range gs {
+				if got[i] != want[i] {
+					t.Fatalf("rank %d round %d: Hash local[%d] (g=%d) = %d, want %d",
+						p.Rank(), round, i, gs[i], got[i], want[i])
+				}
+			}
+			if ht.Len() != len(model.entries) || ht.NGhosts() != model.nGhosts {
+				t.Fatalf("rank %d round %d: len/ghosts = %d/%d, want %d/%d",
+					p.Rank(), round, ht.Len(), ht.NGhosts(), len(model.entries), model.nGhosts)
+			}
+			inc := stamps[rng.Intn(len(stamps))]
+			exc := Stamp(0)
+			if rng.Intn(2) == 0 {
+				exc = stamps[rng.Intn(len(stamps))] &^ inc
+			}
+			gotSel := ht.Select(inc, exc)
+			wantSel := model.sel(inc, exc)
+			if len(gotSel) != len(wantSel) {
+				t.Fatalf("rank %d round %d: Select(%b,%b) returned %d entries, want %d",
+					p.Rank(), round, inc, exc, len(gotSel), len(wantSel))
+			}
+			for i := range gotSel {
+				if gotSel[i] != wantSel[i] {
+					t.Fatalf("rank %d round %d: Select entry %d = %+v, want %+v",
+						p.Rank(), round, i, gotSel[i], wantSel[i])
+				}
+			}
+			for trial := 0; trial < 8; trial++ {
+				g := int32(rng.Intn(n))
+				gotE, gotOK := ht.Lookup(g)
+				k, wantOK := model.idx[g]
+				if gotOK != wantOK {
+					t.Fatalf("rank %d round %d: Lookup(%d) present=%v, want %v", p.Rank(), round, g, gotOK, wantOK)
+				}
+				if gotOK && gotE != model.entries[k] {
+					t.Fatalf("rank %d round %d: Lookup(%d) = %+v, want %+v", p.Rank(), round, g, gotE, model.entries[k])
+				}
+			}
+		}
+		// Ghost-slot order: slot s must hold the s-th distinct off-processor
+		// global in first-appearance order, mirrored by the model's entries.
+		gg := ht.GhostGlobals()
+		var wantGG []int32
+		for _, e := range model.entries {
+			if int(e.Owner) != p.Rank() {
+				wantGG = append(wantGG, e.Global)
+			}
+		}
+		if len(gg) != len(wantGG) {
+			t.Fatalf("rank %d: %d ghost globals, want %d", p.Rank(), len(gg), len(wantGG))
+		}
+		for i := range gg {
+			if gg[i] != wantGG[i] {
+				t.Fatalf("rank %d: ghost slot %d holds %d, want %d", p.Rank(), i, gg[i], wantGG[i])
+			}
+		}
+	})
+}

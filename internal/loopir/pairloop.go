@@ -92,9 +92,9 @@ func (l *PairLoop) maybeInspect() {
 		l.ht.ClearStamp(l.sa)
 		l.ht.ClearStamp(l.sb)
 	}
-	l.la = l.ht.Hash(l.ia.vals, l.sa)
-	l.lb = l.ht.Hash(l.ib.vals, l.sb)
-	l.sched = schedule.Build(l.prog.P, l.ht, l.sa|l.sb, 0) // merged schedule
+	l.la = l.ht.HashInto(l.la, l.ia.vals, l.sa)
+	l.lb = l.ht.HashInto(l.lb, l.ib.vals, l.sb)
+	l.sched = schedule.BuildInto(l.sched, l.prog.P, l.ht, l.sa|l.sb, 0) // merged schedule
 	l.prog.P.ComputeMem(len(l.ia.vals) + len(l.ib.vals))
 	l.iaSeen = l.ia.version
 	l.ibSeen = l.ib.version

@@ -86,8 +86,8 @@ func (l *SumLoop) maybeInspect() {
 		// The indirection array adapted: clear and rehash its stamp; index
 		// analysis for unchanged entries is reused from the hash table.
 		l.ht.ClearStamp(l.stamp)
-		l.loc = l.ht.Hash(l.ind.vals, l.stamp)
-		l.sched = schedule.Build(l.prog.P, l.ht, l.stamp, 0)
+		l.loc = l.ht.HashInto(l.loc, l.ind.vals, l.stamp)
+		l.sched = schedule.BuildInto(l.sched, l.prog.P, l.ht, l.stamp, 0)
 		l.prog.P.ComputeMem(len(l.ind.vals))
 		l.inspections++
 	default:

@@ -74,10 +74,16 @@ func BlockMap(p *comm.Proc, globals, owners []int32, n int) []int32 {
 // the layout of a destination translation table.
 type Plan struct {
 	nprocs int
-	// sendIdx[r] lists local indices whose elements go to rank r.
-	sendIdx [][]int32
-	// placeOff[r] lists destination offsets for elements arriving from r.
-	placeOff [][]int32
+	// sendIdx backs the per-destination lists of local indices whose
+	// elements go to each rank: the list for rank r is
+	// sendIdx[sendPtr[r]:sendPtr[r+1]] (flat CSR, like the schedules).
+	sendIdx []int32
+	sendPtr []int32
+	// placeOff backs the per-source lists of destination offsets for
+	// arriving elements: the list for rank r is
+	// placeOff[placePtr[r]:placePtr[r+1]].
+	placeOff []int32
+	placePtr []int32
 	// keepIdx/keepOff move elements that stay on this processor.
 	keepIdx []int32
 	keepOff []int32
@@ -116,50 +122,67 @@ func stageI32(buf *[]int32, n int) []int32 {
 func NewPlan(p *comm.Proc, globals []int32, dst *ttable.Table) *Plan {
 	ents := dst.Dereference(p, globals)
 	pl := &Plan{
-		nprocs:   p.Size(),
-		sendIdx:  make([][]int32, p.Size()),
-		placeOff: make([][]int32, p.Size()),
-		newLen:   dst.NLocal(p.Rank()),
+		nprocs: p.Size(),
+		newLen: dst.NLocal(p.Rank()),
 	}
-	// Route (destOffset) per destination; local stays in keep lists.
-	offOut := make([][]int32, p.Size())
+	// Route (destOffset) per destination; local stays in keep lists. The
+	// per-destination lists are built flat: count, prefix-sum, fill.
+	pl.sendPtr = make([]int32, p.Size()+1)
+	for _, e := range ents {
+		if int(e.Owner) != p.Rank() {
+			pl.sendPtr[e.Owner+1]++
+		}
+	}
+	for r := 0; r < p.Size(); r++ {
+		pl.sendPtr[r+1] += pl.sendPtr[r]
+	}
+	nSend := int(pl.sendPtr[p.Size()])
+	pl.sendIdx = make([]int32, nSend)
+	offOut := make([]int32, nSend)
+	cur := make([]int32, p.Size())
 	for i, e := range ents {
 		if int(e.Owner) == p.Rank() {
 			pl.keepIdx = append(pl.keepIdx, int32(i))
 			pl.keepOff = append(pl.keepOff, e.Offset)
 			continue
 		}
-		pl.sendIdx[e.Owner] = append(pl.sendIdx[e.Owner], int32(i))
-		offOut[e.Owner] = append(offOut[e.Owner], e.Offset)
+		k := pl.sendPtr[e.Owner] + cur[e.Owner]
+		cur[e.Owner]++
+		pl.sendIdx[k] = int32(i)
+		offOut[k] = e.Offset
 	}
 	p.ComputeMem(len(globals))
 	bufs := make([][]byte, p.Size())
-	flat := make([]byte, 0, 4*(len(globals)-len(pl.keepIdx)))
-	for r := range offOut {
+	flat := make([]byte, 0, 4*nSend)
+	for r := 0; r < p.Size(); r++ {
 		start := len(flat)
-		flat = comm.AppendI32(flat, offOut[r])
+		flat = comm.AppendI32(flat, offOut[pl.sendPtr[r]:pl.sendPtr[r+1]])
 		bufs[r] = flat[start:len(flat):len(flat)]
 	}
+	pl.placePtr = make([]int32, p.Size()+1)
 	for r, b := range p.AllToAll(bufs) {
 		if r == p.Rank() {
+			pl.placePtr[r+1] = pl.placePtr[r]
 			continue
 		}
-		pl.placeOff[r] = comm.DecodeI32(b)
+		pl.placeOff = append(pl.placeOff, comm.DecodeI32(b)...)
+		pl.placePtr[r+1] = int32(len(pl.placeOff))
 	}
 	return pl
 }
+
+// sendTo returns the local indices sent to rank r (aliases plan storage).
+func (pl *Plan) sendTo(r int) []int32 { return pl.sendIdx[pl.sendPtr[r]:pl.sendPtr[r+1]] }
+
+// placeFrom returns the destination offsets for elements arriving from rank
+// r (aliases plan storage).
+func (pl *Plan) placeFrom(r int) []int32 { return pl.placeOff[pl.placePtr[r]:pl.placePtr[r+1]] }
 
 // NewLen returns the local array length under the destination distribution.
 func (pl *Plan) NewLen() int { return pl.newLen }
 
 // MovedAway returns how many local elements leave this processor.
-func (pl *Plan) MovedAway() int {
-	n := 0
-	for _, s := range pl.sendIdx {
-		n += len(s)
-	}
-	return n
-}
+func (pl *Plan) MovedAway() int { return len(pl.sendIdx) }
 
 // MoveF64 relocates a float64 array (width components per element) from the
 // source layout to the destination layout. Collective.
@@ -171,7 +194,7 @@ func (pl *Plan) MoveF64(p *comm.Proc, old []float64, width int) []float64 {
 	p.ComputeMem(len(pl.keepIdx) * width)
 	for k := 1; k < p.Size(); k++ {
 		dst := (p.Rank() + k) % p.Size()
-		idx := pl.sendIdx[dst]
+		idx := pl.sendTo(dst)
 		if len(idx) == 0 {
 			continue
 		}
@@ -184,7 +207,7 @@ func (pl *Plan) MoveF64(p *comm.Proc, old []float64, width int) []float64 {
 	}
 	for k := 1; k < p.Size(); k++ {
 		src := (p.Rank() - k + p.Size()) % p.Size()
-		offs := pl.placeOff[src]
+		offs := pl.placeFrom(src)
 		if len(offs) == 0 {
 			continue
 		}
@@ -212,7 +235,7 @@ func (pl *Plan) MoveI32(p *comm.Proc, old []int32, width int) []int32 {
 	p.ComputeMem(len(pl.keepIdx) * width)
 	for k := 1; k < p.Size(); k++ {
 		dst := (p.Rank() + k) % p.Size()
-		idx := pl.sendIdx[dst]
+		idx := pl.sendTo(dst)
 		if len(idx) == 0 {
 			continue
 		}
@@ -225,7 +248,7 @@ func (pl *Plan) MoveI32(p *comm.Proc, old []int32, width int) []int32 {
 	}
 	for k := 1; k < p.Size(); k++ {
 		src := (p.Rank() - k + p.Size()) % p.Size()
-		offs := pl.placeOff[src]
+		offs := pl.placeFrom(src)
 		if len(offs) == 0 {
 			continue
 		}
@@ -268,7 +291,7 @@ func (pl *Plan) MoveCSR(p *comm.Proc, ptr []int32, values []int32) ([]int32, []i
 	}
 	for k := 1; k < p.Size(); k++ {
 		dst := (p.Rank() + k) % p.Size()
-		idx := pl.sendIdx[dst]
+		idx := pl.sendTo(dst)
 		if len(idx) == 0 {
 			continue
 		}
@@ -285,7 +308,7 @@ func (pl *Plan) MoveCSR(p *comm.Proc, ptr []int32, values []int32) ([]int32, []i
 	}
 	for k := 1; k < p.Size(); k++ {
 		src := (p.Rank() - k + p.Size()) % p.Size()
-		offs := pl.placeOff[src]
+		offs := pl.placeFrom(src)
 		if len(offs) == 0 {
 			continue
 		}

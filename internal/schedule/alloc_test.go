@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/costmodel"
+	"repro/internal/hashtab"
 )
 
 // allocEnv builds a symmetric gather/scatter workload: n globals spread
@@ -167,4 +168,54 @@ func BenchmarkDataMotionBuildLight(b *testing.B) {
 			BuildLight(p, dest)
 		}
 	})
+}
+
+// TestInspectorLoopSteadyStateAllocs extends the zero-allocation discipline
+// to the full adaptive inspector loop: ClearStamp + rehash (HashInto) +
+// incremental-style rebuild (BuildInto) + SelectInto. With a replicated
+// translation table and a warmed table, every cycle reuses the
+// open-addressing index, the localized-index buffer, the schedule's CSR
+// backing and the selection scratch, so steady state is 0 allocs/op.
+func TestInspectorLoopSteadyStateAllocs(t *testing.T) {
+	const runs = 100
+	nprocs := 4
+	got := make([]float64, nprocs)
+	comm.Run(nprocs, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		n, nrefs := 512, 1024
+		owners := make([]int32, n)
+		for i := range owners {
+			owners[i] = int32(i % p.Size())
+		}
+		rng := rand.New(rand.NewSource(int64(11 + p.Rank())))
+		refs := make([]int32, nrefs)
+		for i := range refs {
+			refs[i] = int32(rng.Intn(n))
+		}
+		_, ht := buildEnv(p, owners)
+		st := ht.NewStamp()
+		var loc []int32
+		var sched *Schedule
+		var sel []hashtab.Entry
+		body := func() {
+			ht.ClearStamp(st)
+			loc = ht.HashInto(loc, refs, st)
+			sched = BuildInto(sched, p, ht, st, 0)
+			sel = ht.SelectInto(sel, st, 0)
+		}
+		// Warm up: first cycle populates the table, grows the index to its
+		// steady-state size and sizes all schedule scratch.
+		for i := 0; i < 5; i++ {
+			body()
+		}
+		// Every rank runs AllocsPerRun so the collective BuildInto stays in
+		// lockstep across ranks.
+		got[p.Rank()] = testing.AllocsPerRun(runs, body)
+		_ = loc
+		_ = sel
+	})
+	for r, a := range got {
+		if a != 0 {
+			t.Errorf("rank %d: inspector loop steady state allocates %.0f allocs/op, want 0", r, a)
+		}
+	}
 }

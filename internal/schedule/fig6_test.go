@@ -48,7 +48,8 @@ func TestFigure6PaperExample(t *testing.T) {
 		fetched := func(s *Schedule) []int32 {
 			gg := ht.GhostGlobals()
 			var out []int32
-			for _, slots := range s.RecvSlot {
+			for r := 0; r < s.NProcs(); r++ {
+				slots := s.RecvSlots(r)
 				for _, slot := range slots {
 					out = append(out, gg[int(slot)-ht.NLocal()])
 				}

@@ -3,6 +3,7 @@ package sparse
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -50,33 +51,59 @@ func Aggregate(a *Matrix) ([]int32, int) {
 // constant prolongator defined by agg (column j of P is the indicator of
 // aggregate j).
 func Galerkin(a *Matrix, agg []int32, nCoarse int) *Matrix {
-	rows := make([]map[int32]float64, nCoarse)
-	for i := range rows {
-		rows[i] = map[int32]float64{}
-	}
+	// Sort-and-merge CSR assembly: emit (coarse row, coarse col, value)
+	// triples in generation order, stable-sort them by position, and sum
+	// adjacent runs. The stable sort keeps duplicates in generation order,
+	// so each entry accumulates in the same sequence as the per-row map
+	// this replaces (bit-identical values), and the merge pass emits rows
+	// ascending with the diagonal first — the same deterministic layout —
+	// without the O(nCoarse) column scan per row.
+	nnz := int(a.Ptr[a.Rows()])
+	rows := make([]int32, nnz)
+	cols := make([]int32, nnz)
+	vals := make([]float64, nnz)
+	ix := 0
 	for r := 0; r < a.Rows(); r++ {
 		cr := agg[r]
 		for k := a.Ptr[r]; k < a.Ptr[r+1]; k++ {
-			rows[cr][agg[a.Col[k]]] += a.Val[k]
+			rows[ix] = cr
+			cols[ix] = agg[a.Col[k]]
+			vals[ix] = a.Val[k]
+			ix++
 		}
 	}
+	ord := make([]int, nnz)
+	for i := range ord {
+		ord[i] = i
+	}
+	// The diagonal sorts before every off-diagonal column of its row.
+	sortCol := func(i int) int32 {
+		if cols[i] == rows[i] {
+			return -1
+		}
+		return cols[i]
+	}
+	sort.SliceStable(ord, func(x, y int) bool {
+		if rows[ord[x]] != rows[ord[y]] {
+			return rows[ord[x]] < rows[ord[y]]
+		}
+		return sortCol(ord[x]) < sortCol(ord[y])
+	})
 	ac := &Matrix{N: nCoarse, Ptr: make([]int32, nCoarse+1)}
-	for r := 0; r < nCoarse; r++ {
-		// Deterministic order: diagonal first, then ascending columns.
-		if v, ok := rows[r][int32(r)]; ok {
-			ac.Col = append(ac.Col, int32(r))
-			ac.Val = append(ac.Val, v)
+	for i := 0; i < nnz; {
+		r, c := rows[ord[i]], cols[ord[i]]
+		sum := 0.0
+		for ; i < nnz && rows[ord[i]] == r && cols[ord[i]] == c; i++ {
+			sum += vals[ord[i]]
 		}
-		for c := int32(0); int(c) < nCoarse; c++ {
-			if int(c) == r {
-				continue
-			}
-			if v, ok := rows[r][c]; ok {
-				ac.Col = append(ac.Col, c)
-				ac.Val = append(ac.Val, v)
-			}
-		}
+		ac.Col = append(ac.Col, c)
+		ac.Val = append(ac.Val, sum)
 		ac.Ptr[r+1] = int32(len(ac.Col))
+	}
+	for r := 0; r < nCoarse; r++ {
+		if ac.Ptr[r+1] < ac.Ptr[r] {
+			ac.Ptr[r+1] = ac.Ptr[r]
+		}
 	}
 	return ac
 }

@@ -82,6 +82,44 @@ type Table struct {
 	pageSize  int
 	homePages map[int][]Entry // pages this processor stores
 	pageCache map[int][]Entry // pages fetched from other processors
+
+	// Dereference scratch, reused across calls so the collective lookup
+	// path stops allocating request/reply staging once warm. All of it is
+	// flat storage: per-peer request lists live back-to-back in one slice
+	// with a pointer array, mirroring the CSR schedules downstream.
+	drPtr   []int32 // per-peer request offsets (len nprocs+1)
+	drReq   []int32 // request payloads, grouped by peer
+	drWhere []int32 // position in globals of each request, grouped by peer
+	drQs    []int32 // incoming request decode scratch
+	drAns   []int32 // reply encode scratch
+	drFlat  []byte  // flat request wire buffer (per-peer subslices)
+	drRFlat []byte  // flat reply wire buffer (per-peer subslices)
+	drBufs  [][]byte
+	drNeed  []int32 // paged: sorted deduplicated missing-page list
+}
+
+// growI32 returns a zeroed slice of n int32 backed by *buf.
+func growI32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	*buf = s
+	return s
+}
+
+// growBytes returns a zero-length byte slice with capacity >= n backed by
+// *buf. Callers append at most n bytes, so earlier subslices of the result
+// stay valid (the backing array never regrows mid-use).
+func growBytes(buf *[]byte, n int) []byte {
+	if cap(*buf) < n {
+		*buf = make([]byte, 0, n)
+	}
+	*buf = (*buf)[:0]
+	return *buf
 }
 
 // Build constructs a translation table collectively. myOwners[i] gives the
@@ -210,52 +248,79 @@ func (t *Table) blockOf(g int) int {
 // Dereference translates global indices to (owner, offset) entries. For
 // Replicated tables this is purely local; for Distributed and Paged tables
 // it is a collective call (every processor must participate, possibly with
-// an empty request list).
+// an empty request list). The result is freshly allocated; hot callers
+// should use DereferenceInto with a retained buffer.
 func (t *Table) Dereference(p *comm.Proc, globals []int32) []Entry {
+	return t.DereferenceInto(p, globals, nil)
+}
+
+// DereferenceInto is Dereference writing into dst's backing array (grown as
+// needed; dst may be nil). The inspector calls it every adapt cycle with
+// table-owned scratch, so steady-state rehashing does not allocate here.
+func (t *Table) DereferenceInto(p *comm.Proc, globals []int32, dst []Entry) []Entry {
 	for _, g := range globals {
 		if g < 0 || int(g) >= t.n {
 			panic(fmt.Sprintf("ttable: global index %d out of range [0,%d)", g, t.n))
 		}
 	}
+	if cap(dst) < len(globals) {
+		dst = make([]Entry, len(globals))
+	}
+	dst = dst[:len(globals)]
 	switch t.kind {
 	case Replicated:
-		out := make([]Entry, len(globals))
 		for i, g := range globals {
-			out[i] = Entry{Owner: t.owners[g], Offset: t.offsets[g]}
+			dst[i] = Entry{Owner: t.owners[g], Offset: t.offsets[g]}
 		}
 		p.ComputeMem(len(globals))
-		return out
+		return dst
 	case Distributed:
-		return t.derefDistributed(p, globals)
+		return t.derefDistributed(p, globals, dst)
 	case Paged:
-		return t.derefPaged(p, globals)
+		return t.derefPaged(p, globals, dst)
 	default:
 		panic("ttable: bad kind")
 	}
 }
 
 // derefDistributed resolves lookups with a request/reply alltoall exchange.
-func (t *Table) derefDistributed(p *comm.Proc, globals []int32) []Entry {
+// Requests are grouped per home processor in flat table-owned scratch (one
+// payload slice plus a pointer array) instead of per-peer append lists.
+func (t *Table) derefDistributed(p *comm.Proc, globals []int32, out []Entry) []Entry {
 	lo := t.blockStarts[p.Rank()]
-	req := make([][]int32, p.Size())
-	where := make([][]int, p.Size()) // where[r][k] = position in globals
+	// Count per home, prefix-sum, then fill: the flat-CSR shape of the
+	// request lists. blockOf runs twice per global; the modeled charge is
+	// per translated index, as before, so virtual time is unchanged.
+	ptr := growI32(&t.drPtr, p.Size()+1)
+	for _, g := range globals {
+		ptr[t.blockOf(int(g))+1]++
+	}
+	for r := 0; r < p.Size(); r++ {
+		ptr[r+1] += ptr[r]
+	}
+	req := growI32(&t.drReq, len(globals))
+	where := growI32(&t.drWhere, len(globals))
+	fill := growI32(&t.drQs, p.Size())
 	for i, g := range globals {
 		home := t.blockOf(int(g))
-		req[home] = append(req[home], g)
-		where[home] = append(where[home], i)
+		k := ptr[home] + fill[home]
+		fill[home]++
+		req[k] = g
+		where[k] = int32(i)
 	}
 	p.ComputeMem(len(globals))
 
 	// All request lists are encoded back-to-back into one pre-sized buffer;
-	// the per-peer messages are subslices of it, so the exchange costs one
-	// allocation instead of one per peer. The wire bytes are unchanged.
-	bufs := make([][]byte, p.Size())
-	flat := make([]byte, 0, 4*len(globals))
-	for r := range req {
+	// the per-peer messages are subslices of it, so the exchange costs no
+	// per-peer allocation. The wire bytes are unchanged.
+	bufs := t.peerBufs(p.Size())
+	flat := growBytes(&t.drFlat, 4*len(globals))
+	for r := 0; r < p.Size(); r++ {
 		start := len(flat)
-		flat = comm.AppendI32(flat, req[r])
+		flat = comm.AppendI32(flat, req[ptr[r]:ptr[r+1]])
 		bufs[r] = flat[start:len(flat):len(flat)]
 	}
+	t.drFlat = flat
 	incoming := p.AllToAll(bufs)
 
 	// Answer incoming requests from the local slab, again into one flat
@@ -265,9 +330,9 @@ func (t *Table) derefDistributed(p *comm.Proc, globals []int32) []Entry {
 	for _, b := range incoming {
 		total += len(b) / 4
 	}
-	replies := make([][]byte, p.Size())
-	rflat := make([]byte, 0, 8*total)
-	var qs, ans []int32
+	replies := t.peerBufs(p.Size())
+	rflat := growBytes(&t.drRFlat, 8*total)
+	qs, ans := t.drQs[:0], t.drAns
 	for r, b := range incoming {
 		qs = comm.DecodeI32Into(qs, b)
 		if cap(ans) < 2*len(qs) {
@@ -284,23 +349,37 @@ func (t *Table) derefDistributed(p *comm.Proc, globals []int32) []Entry {
 		rflat = comm.AppendI32(rflat, ans)
 		replies[r] = rflat[start:len(rflat):len(rflat)]
 	}
+	t.drQs, t.drAns, t.drRFlat = qs[:0], ans, rflat
 	answered := p.AllToAll(replies)
 
-	out := make([]Entry, len(globals))
 	for r, b := range answered {
 		ans = comm.DecodeI32Into(ans, b)
-		for k := range where[r] {
-			out[where[r][k]] = Entry{Owner: ans[2*k], Offset: ans[2*k+1]}
+		for k, w := range where[ptr[r]:ptr[r+1]] {
+			out[w] = Entry{Owner: ans[2*k], Offset: ans[2*k+1]}
 		}
 	}
+	t.drAns = ans
 	return out
 }
 
+// peerBufs returns the reusable per-peer wire-buffer slice, cleared.
+func (t *Table) peerBufs(n int) [][]byte {
+	if cap(t.drBufs) < n {
+		t.drBufs = make([][]byte, n)
+	}
+	t.drBufs = t.drBufs[:n]
+	for i := range t.drBufs {
+		t.drBufs[i] = nil
+	}
+	return t.drBufs
+}
+
 // derefPaged fetches any missing pages from their home processors, caches
-// them, then resolves locally.
-func (t *Table) derefPaged(p *comm.Proc, globals []int32) []Entry {
-	// Determine missing pages.
-	need := map[int]bool{}
+// them, then resolves locally. The missing-page set is a sorted flat list
+// (table-owned scratch), not a map.
+func (t *Table) derefPaged(p *comm.Proc, globals []int32, out []Entry) []Entry {
+	// Determine missing pages: collect, sort, deduplicate.
+	need := t.drNeed[:0]
 	for _, g := range globals {
 		page := int(g) / t.pageSize
 		if _, ok := t.pageCache[page]; ok {
@@ -309,26 +388,45 @@ func (t *Table) derefPaged(p *comm.Proc, globals []int32) []Entry {
 		if _, ok := t.homePages[page]; ok && (page%p.Size()) == p.Rank() {
 			continue
 		}
-		need[page] = true
+		need = append(need, int32(page))
 	}
+	sort.Slice(need, func(i, j int) bool { return need[i] < need[j] })
+	w := 0
+	for i, pg := range need {
+		if i == 0 || pg != need[i-1] {
+			need[w] = pg
+			w++
+		}
+	}
+	need = need[:w]
+	t.drNeed = need
 	p.ComputeMem(len(globals))
 
-	req := make([][]int32, p.Size())
-	for page := range need {
-		home := page % p.Size()
-		req[home] = append(req[home], int32(page))
+	// Group by home processor: a count/prefix/fill pass over the sorted
+	// list, so each peer's request list is ascending (as before).
+	ptr := growI32(&t.drPtr, p.Size()+1)
+	for _, pg := range need {
+		ptr[int(pg)%p.Size()+1]++
 	}
-	for r := range req {
-		sort.Slice(req[r], func(i, j int) bool { return req[r][i] < req[r][j] })
+	for r := 0; r < p.Size(); r++ {
+		ptr[r+1] += ptr[r]
+	}
+	req := growI32(&t.drReq, len(need))
+	fill := growI32(&t.drQs, p.Size())
+	for _, pg := range need {
+		home := int(pg) % p.Size()
+		req[ptr[home]+fill[home]] = pg
+		fill[home]++
 	}
 	// One flat request buffer, per-peer subslices (wire bytes unchanged).
-	bufs := make([][]byte, p.Size())
-	flat := make([]byte, 0, 4*len(need))
-	for r := range req {
+	bufs := t.peerBufs(p.Size())
+	flat := growBytes(&t.drFlat, 4*len(need))
+	for r := 0; r < p.Size(); r++ {
 		start := len(flat)
-		flat = comm.AppendI32(flat, req[r])
+		flat = comm.AppendI32(flat, req[ptr[r]:ptr[r+1]])
 		bufs[r] = flat[start:len(flat):len(flat)]
 	}
+	t.drFlat = flat
 	incoming := p.AllToAll(bufs)
 
 	// Serve pages: reply is a sequence of (page, size, owner..., offset...).
@@ -384,7 +482,6 @@ func (t *Table) derefPaged(p *comm.Proc, globals []int32) []Entry {
 		}
 	}
 
-	out := make([]Entry, len(globals))
 	for i, g := range globals {
 		page := int(g) / t.pageSize
 		ents, ok := t.pageCache[page]
