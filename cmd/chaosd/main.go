@@ -1,0 +1,363 @@
+// Command chaosd is the CHAOS cluster service. One binary, four roles:
+//
+//	chaosd coordinator -listen 127.0.0.1:8970
+//	    Serve the cluster API: accept jobs (POST /jobs), queue them FIFO
+//	    with a concurrency cap, schedule each across the live worker pool,
+//	    and restart interrupted jobs from their latest sealed checkpoint
+//	    (elastic P→Q restore) when workers come and go.
+//
+//	chaosd worker -coordinator http://127.0.0.1:8970 -id w1
+//	    Join the pool: register, heartbeat, and host virtual ranks of
+//	    scheduled jobs over the TCP transport. A fault-plan kill landing on
+//	    a hosted rank kills the whole worker (the chaos monkey).
+//
+//	chaosd submit -coordinator http://127.0.0.1:8970 -app dsmc -wait
+//	    Submit one job, optionally stream its NDJSON event log and wait
+//	    for the final checksum.
+//
+//	chaosd oneshot -app dsmc -workers 3
+//	    Spin up an in-process coordinator plus worker pool, run one job to
+//	    completion, print the checksum, and exit — the reference path CI
+//	    compares the multi-process cluster against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "coordinator":
+		err = runCoordinator(os.Args[2:])
+	case "worker":
+		err = runWorker(os.Args[2:])
+	case "submit":
+		err = runSubmit(os.Args[2:])
+	case "oneshot":
+		err = runOneshot(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "chaosd: unknown role %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: chaosd <role> [flags]
+
+roles:
+  coordinator   serve the cluster API and schedule jobs over the worker pool
+  worker        join a coordinator's pool and host virtual ranks
+  submit        submit a job to a coordinator (optionally stream and wait)
+  oneshot       run one job on an in-process cluster and print its checksum
+
+run "chaosd <role> -h" for the role's flags`)
+}
+
+// jobFlags declares the job-spec flags shared by submit and oneshot.
+func jobFlags(fs *flag.FlagSet) *cluster.JobSpec {
+	spec := &cluster.JobSpec{}
+	fs.StringVar(&spec.App, "app", "dsmc", "computation: fig1, charmm, dsmc")
+	fs.IntVar(&spec.Elems, "elems", 0, "fig1 array length / charmm atoms / dsmc molecules (0 = default)")
+	fs.IntVar(&spec.Iters, "iters", 0, "fig1 irregular-loop iterations (0 = default)")
+	fs.IntVar(&spec.Steps, "steps", 0, "charmm/dsmc time steps (0 = default)")
+	fs.IntVar(&spec.CheckpointEvery, "ckpt-every", 0, "checkpoint every N steps (0 = never)")
+	fs.IntVar(&spec.RanksPerWorker, "ranks-per-worker", 0, "virtual ranks per worker (0 = coordinator default)")
+	fs.IntVar(&spec.MinWorkers, "min-workers", 0, "wait for at least this many workers before the first attempt")
+	fs.IntVar(&spec.MaxRestarts, "max-restarts", 0, "failure-restart budget (0 = coordinator default)")
+	fs.StringVar(&spec.FaultPlan, "fault-plan", "",
+		`deterministic fault plan, e.g. "seed=7,dup=0.05,kill=1@200"; kill specs act as the chaos monkey`)
+	return spec
+}
+
+// runCoordinator serves the cluster API until SIGINT/SIGTERM.
+func runCoordinator(args []string) error {
+	fs := flag.NewFlagSet("chaosd coordinator", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:8970", "API listen address")
+	maxConc := fs.Int("max-concurrent", 2, "maximum simultaneously running jobs")
+	dataDir := fs.String("data-dir", "", "checkpoint base directory (default: a temp dir)")
+	rpw := fs.Int("ranks-per-worker", 2, "default virtual ranks per worker per job")
+	maxRestarts := fs.Int("max-restarts", 3, "default failure-restart budget per job")
+	ttl := fs.Duration("heartbeat-ttl", 5*time.Second, "expire workers silent for this long")
+	probe := fs.Duration("probe-interval", time.Second, "liveness sweep interval")
+	noRebalance := fs.Bool("no-rebalance", false, "do not restore running jobs onto newly joined workers")
+	fs.Parse(args)
+
+	c := cluster.NewCoordinator(cluster.Options{
+		MaxConcurrent: *maxConc, DataDir: *dataDir, RanksPerWorker: *rpw,
+		MaxRestarts: *maxRestarts, HeartbeatTTL: *ttl, ProbeInterval: *probe,
+		DisableRebalance: *noRebalance,
+	})
+	defer c.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	fmt.Printf("chaosd: coordinator serving on http://%s\n", ln.Addr())
+	go srv.Serve(ln)
+
+	waitSignal()
+	fmt.Println("chaosd: coordinator shutting down")
+	srv.Close()
+	return nil
+}
+
+// runWorker joins a coordinator's pool until SIGINT/SIGTERM or a
+// chaos-monkey suicide.
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("chaosd worker", flag.ExitOnError)
+	coord := fs.String("coordinator", "http://127.0.0.1:8970", "coordinator base URL")
+	id := fs.String("id", "", "worker id (default: host:port of the listen address)")
+	listen := fs.String("listen", "127.0.0.1:0", "worker API listen address")
+	heartbeat := fs.Duration("heartbeat", time.Second, "heartbeat interval")
+	fs.Parse(args)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	self := "http://" + ln.Addr().String()
+	wid := *id
+	if wid == "" {
+		wid = ln.Addr().String()
+	}
+	w, err := cluster.NewWorker(cluster.WorkerOptions{
+		ID: wid, CoordinatorURL: strings.TrimRight(*coord, "/"), SelfURL: self,
+		HeartbeatEvery: *heartbeat,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	srv := &http.Server{Handler: w.Handler()}
+	fmt.Printf("chaosd: worker %s serving on %s, coordinator %s\n", wid, self, *coord)
+	go srv.Serve(ln)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Printf("chaosd: worker %s shutting down\n", wid)
+	case <-w.Dead():
+		fmt.Printf("chaosd: worker %s killed by fault plan\n", wid)
+	}
+	w.Close()
+	srv.Close()
+	return nil
+}
+
+// runSubmit posts one job and optionally follows it to completion.
+func runSubmit(args []string) error {
+	fs := flag.NewFlagSet("chaosd submit", flag.ExitOnError)
+	coord := fs.String("coordinator", "http://127.0.0.1:8970", "coordinator base URL")
+	spec := jobFlags(fs)
+	stream := fs.Bool("stream", false, "follow the job's NDJSON event log on stdout")
+	wait := fs.Bool("wait", false, "block until the job reaches a terminal state")
+	expect := fs.String("expect", "", "fail unless the final checksum matches this value (implies -wait)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "give up waiting after this long")
+	fs.Parse(args)
+
+	base := strings.TrimRight(*coord, "/")
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("submit rejected: %s: %s", resp.Status, msg)
+	}
+	var st cluster.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	fmt.Printf("chaosd: submitted %s (%s)\n", st.ID, st.Spec.App)
+
+	if !*wait && *expect == "" && !*stream {
+		return nil
+	}
+	if *stream {
+		go streamEvents(base, st.ID)
+	}
+	if !*wait && *expect == "" {
+		// -stream without -wait: follow until the stream closes.
+		return streamEvents(base, st.ID)
+	}
+	final, err := waitTerminal(base, st.ID, *timeout)
+	if err != nil {
+		return err
+	}
+	if final.State != cluster.JobDone {
+		return fmt.Errorf("job %s %s: %s", final.ID, final.State, final.Error)
+	}
+	fmt.Printf("chaosd: %s done: checksum %.9f (attempts %d, restores %d, ranks %d)\n",
+		final.ID, final.Checksum, final.Attempt+1, final.Restores, final.Ranks)
+	if *expect != "" {
+		var want float64
+		if _, err := fmt.Sscanf(*expect, "%g", &want); err != nil {
+			return fmt.Errorf("bad -expect %q: %v", *expect, err)
+		}
+		if !closeEnough(final.Checksum, want) {
+			return fmt.Errorf("checksum %.12g does not match expected %.12g", final.Checksum, want)
+		}
+		fmt.Println("chaosd: checksum matches expected value")
+	}
+	return nil
+}
+
+// streamEvents copies a job's NDJSON stream to stdout until it closes.
+func streamEvents(base, id string) error {
+	resp, err := http.Get(base + "/jobs/" + id + "/stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	return sc.Err()
+}
+
+// waitTerminal polls a job's status until it is done or failed.
+func waitTerminal(base, id string, timeout time.Duration) (cluster.JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			return cluster.JobStatus{}, err
+		}
+		var st cluster.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return cluster.JobStatus{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// closeEnough compares checksums with the repo's relative tolerance.
+func closeEnough(got, want float64) bool {
+	scale := math.Abs(want)
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(got-want) <= 1e-9*scale
+}
+
+// runOneshot runs one job on an in-process cluster and prints its checksum
+// on a parseable line ("oneshot checksum <value>").
+func runOneshot(args []string) error {
+	fs := flag.NewFlagSet("chaosd oneshot", flag.ExitOnError)
+	spec := jobFlags(fs)
+	nworkers := fs.Int("workers", 2, "in-process worker count")
+	timeout := fs.Duration("timeout", 10*time.Minute, "give up after this long")
+	fs.Parse(args)
+
+	c := cluster.NewCoordinator(cluster.Options{HeartbeatTTL: 30 * time.Second})
+	defer c.Close()
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	csrv := &http.Server{Handler: c.Handler()}
+	go csrv.Serve(cln)
+	defer csrv.Close()
+	base := "http://" + cln.Addr().String()
+
+	for i := 0; i < *nworkers; i++ {
+		wln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		w, err := cluster.NewWorker(cluster.WorkerOptions{
+			ID:             fmt.Sprintf("w%d", i),
+			CoordinatorURL: base,
+			SelfURL:        "http://" + wln.Addr().String(),
+			HeartbeatEvery: 250 * time.Millisecond,
+		})
+		if err != nil {
+			wln.Close()
+			return err
+		}
+		defer w.Close()
+		wsrv := &http.Server{Handler: w.Handler()}
+		go wsrv.Serve(wln)
+		defer wsrv.Close()
+	}
+
+	spec.MinWorkers = *nworkers
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("submit rejected: %s: %s", resp.Status, msg)
+	}
+	var st cluster.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	final, err := waitTerminal(base, st.ID, *timeout)
+	if err != nil {
+		return err
+	}
+	if final.State != cluster.JobDone {
+		return fmt.Errorf("job %s %s: %s", final.ID, final.State, final.Error)
+	}
+	fmt.Printf("chaosd: %s on %d workers × %d ranks\n", final.Spec.App, *nworkers, final.Ranks)
+	fmt.Printf("oneshot checksum %.9f\n", final.Checksum)
+	return nil
+}
+
+// waitSignal blocks until SIGINT or SIGTERM.
+func waitSignal() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

@@ -30,25 +30,26 @@
 // both ends of a link derive the fault schedule from the shared seed:
 //
 //	chaosnode -rank R -addrs ... -fault-plan "seed=7,dup=0.05,reorder=0.1"
+//
+// SIGINT or SIGTERM closes the transport before exiting, so peer ranks
+// observe a clean connection teardown (and fail fast with a PeerFailure)
+// instead of hanging on a vanished process.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/charmm"
 	"repro/internal/checkpoint"
+	"repro/internal/cluster/apps"
 	"repro/internal/comm"
 	"repro/internal/comm/fault"
-	"repro/internal/core"
 	"repro/internal/costmodel"
-	"repro/internal/dsmc"
-	"repro/internal/partition"
-	"repro/internal/schedule"
 )
 
 func main() {
@@ -68,18 +69,41 @@ func main() {
 		`deterministic fault plan, e.g. "seed=7,drop=0.01,retry=3:2e-5,dup=0.05,reorder=0.1,kill=1@200"; every rank must be started with the same plan`)
 	flag.Parse()
 
-	addrs := strings.Split(*addrList, ",")
+	addrs, err := parseAddrs(*addrList, *rank)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosnode:", err)
+		os.Exit(2)
+	}
 	n := len(addrs)
-	if *rank < 0 || *rank >= n || *addrList == "" {
-		fmt.Fprintln(os.Stderr, "chaosnode: need -rank in range and -addrs host:port,host:port,...")
+
+	spec := apps.Spec{
+		App: *app, Elems: *elems, Iters: *iters, Steps: *steps,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
+		CrashStep: *crashStep, CrashRank: *crashRank,
+	}
+	if *resume != "" {
+		spec.ResumeFrom = *resume
+		if *resume == "latest" {
+			if *ckptDir == "" {
+				fmt.Fprintln(os.Stderr, "chaosnode: -resume latest requires -ckpt-dir")
+				os.Exit(2)
+			}
+			dir, ok := checkpoint.Latest(*ckptDir)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "chaosnode: no sealed checkpoint under %s\n", *ckptDir)
+				os.Exit(2)
+			}
+			spec.ResumeFrom = dir
+		}
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosnode:", err)
 		os.Exit(2)
 	}
-	if *app == "fig1" && (*ckptEvery > 0 || *resume != "") {
-		fmt.Fprintln(os.Stderr, "chaosnode: checkpoint flags require -app charmm or -app dsmc")
-		os.Exit(2)
-	}
+
 	var tr comm.Transport
-	tr, err := comm.NewTCPEndpoint(*rank, addrs, *timeout)
+	tr, err = comm.NewTCPEndpoint(*rank, addrs, *timeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaosnode:", err)
 		os.Exit(1)
@@ -96,135 +120,87 @@ func main() {
 	}
 	defer tr.Close()
 
-	resumeFrom := ""
-	if *resume != "" {
-		resumeFrom = *resume
-		if *resume == "latest" {
-			if *ckptDir == "" {
-				fmt.Fprintln(os.Stderr, "chaosnode: -resume latest requires -ckpt-dir")
-				os.Exit(2)
-			}
-			dir, ok := checkpoint.Latest(*ckptDir)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "chaosnode: no sealed checkpoint under %s\n", *ckptDir)
-				os.Exit(2)
-			}
-			resumeFrom = dir
-		}
-	}
+	// On SIGINT/SIGTERM, close the transport first: pending frames are
+	// flushed (sends are synchronous, so nothing is buffered past a write)
+	// and the connection teardown poisons peer mailboxes, turning a silent
+	// disappearance into an immediate PeerFailure on the survivors.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "chaosnode: rank %d caught %v: closing transport\n", *rank, s)
+		_ = tr.Close() // exiting anyway; the teardown itself is the flush
+		os.Exit(1)
+	}()
 
-	switch *app {
-	case "fig1":
-		runFig1(*rank, n, tr, *elems, *iters)
-	case "charmm":
-		cfg := charmm.ConfigForAtoms(*elems)
-		cfg.Steps = *steps
-		cfg.NBEvery = 3
-		cfg.CheckpointDir = *ckptDir
-		cfg.CheckpointEvery = *ckptEvery
-		cfg.ResumeFrom = resumeFrom
-		cfg.CrashStep = *crashStep
-		cfg.CrashRank = *crashRank
-		clock, stats := comm.RunRank(*rank, n, costmodel.IPSC860(), tr, func(p *comm.Proc) {
-			res := charmm.Run(p, cfg)
-			if p.Rank() == 0 {
+	// A peer process crashing (or being killed) poisons our mailboxes and
+	// surfaces as a PeerFailure panic out of RunRank. Exit with a clear
+	// message instead of a stack trace — survivors are expected to restart
+	// from the last sealed checkpoint.
+	defer func() {
+		if e := recover(); e != nil {
+			if _, ok := e.(comm.PeerFailure); ok {
+				fmt.Fprintf(os.Stderr,
+					"chaosnode: rank %d aborted: a peer rank failed; restart from the last sealed checkpoint\n", *rank)
+				_ = tr.Close() // exiting anyway; peers are already poisoned
+				os.Exit(3)
+			}
+			panic(e)
+		}
+	}()
+
+	var res apps.Result
+	clock, stats := comm.RunRank(*rank, n, costmodel.IPSC860(), tr, func(p *comm.Proc) {
+		res = apps.Run(p, spec)
+		if p.Rank() == 0 {
+			switch spec.App {
+			case "fig1":
+				fmt.Printf("chaosnode: %d ranks (one OS process each), %d elems, %d iters\n",
+					n, spec.Elems, spec.Iters)
+				fmt.Printf("chaosnode: global max |error| vs sequential loop = %.2e\n", res.MaxErr)
+				if res.MaxErr > 1e-9 {
+					fmt.Println("chaosnode: RESULT MISMATCH")
+				} else {
+					fmt.Println("chaosnode: OK")
+				}
+			case "charmm":
 				fmt.Printf("chaosnode: charmm %d atoms, %d steps: checksum %.9f\n",
-					cfg.NAtoms, cfg.Steps, res.Checksum)
-			}
-			p.Barrier()
-		})
-		fmt.Printf("chaosnode: rank %d done: virtual %.4fs, sent %d msgs / %d bytes\n",
-			*rank, clock, stats.MsgsSent, stats.BytesSent)
-	case "dsmc":
-		cfg := dsmc.Default2D(24)
-		cfg.NMols = *elems
-		cfg.Steps = *steps
-		cfg.RemapEvery = 4
-		cfg.Partitioner = "rcb"
-		cfg.InitSlabFrac = 0.5
-		cfg.CheckpointDir = *ckptDir
-		cfg.CheckpointEvery = *ckptEvery
-		cfg.ResumeFrom = resumeFrom
-		cfg.CrashStep = *crashStep
-		cfg.CrashRank = *crashRank
-		clock, stats := comm.RunRank(*rank, n, costmodel.IPSC860(), tr, func(p *comm.Proc) {
-			res := dsmc.Run(p, cfg)
-			if p.Rank() == 0 {
+					spec.Elems, spec.Steps, res.Checksum)
+			case "dsmc":
 				fmt.Printf("chaosnode: dsmc %d molecules, %d steps: checksum %.9f\n",
-					cfg.NMols, cfg.Steps, res.Checksum)
+					spec.Elems, spec.Steps, res.Checksum)
 			}
-			p.Barrier()
-		})
-		fmt.Printf("chaosnode: rank %d done: virtual %.4fs, sent %d msgs / %d bytes\n",
-			*rank, clock, stats.MsgsSent, stats.BytesSent)
-	default:
-		fmt.Fprintf(os.Stderr, "chaosnode: unknown -app %q (valid: fig1, charmm, dsmc)\n", *app)
-		os.Exit(2)
+		}
+	})
+	fmt.Printf("chaosnode: rank %d done: virtual %.4fs, sent %d msgs / %d bytes\n",
+		*rank, clock, stats.MsgsSent, stats.BytesSent)
+	if spec.App == "fig1" && res.MaxErr > 1e-9 {
+		os.Exit(1)
 	}
 }
 
-// runFig1 runs the Figure 1 irregular loop and validates the owned section
-// of the result against the sequential loop.
-func runFig1(rank, n int, tr comm.Transport, elems, iters int) {
-	// Deterministic shared problem: the Figure 1 loop.
-	ia := make([]int32, iters)
-	ib := make([]int32, iters)
-	for i := range ia {
-		ia[i] = int32((i*37 + 11) % elems)
-		ib[i] = int32((i*61 + 29) % elems)
+// parseAddrs validates the -rank/-addrs pair up front: the rank must index
+// the address list, and the addresses must be non-empty and pairwise
+// distinct (two ranks sharing an address could never form a mesh).
+func parseAddrs(addrList string, rank int) ([]string, error) {
+	if addrList == "" {
+		return nil, fmt.Errorf("need -rank in range and -addrs host:port,host:port,...")
 	}
-	want := make([]float64, elems)
-	for i := 0; i < iters; i++ {
-		want[ia[i]] += float64(ib[i]) * 0.5
+	addrs := strings.Split(addrList, ",")
+	seen := make(map[string]int, len(addrs))
+	for i, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("-addrs entry %d of %d is empty", i+1, len(addrs))
+		}
+		if j, dup := seen[a]; dup {
+			return nil, fmt.Errorf("-addrs entries %d and %d are both %q: every rank needs its own address", j+1, i+1, a)
+		}
+		seen[a] = i
+		addrs[i] = a
 	}
-
-	maxErr := 0.0
-	clock, stats := comm.RunRank(rank, n, costmodel.IPSC860(), tr, func(p *comm.Proc) {
-		rt := core.NewRuntime(p)
-		d := rt.BlockDist(elems)
-		x := make([]float64, d.NLocal())
-		y := make([]float64, d.NLocal())
-		for i, g := range d.Globals() {
-			y[i] = float64(g) * 0.5
-		}
-		lo, hi := partition.BlockRange(p.Rank(), iters, n)
-		ht := d.NewHashTable()
-		sa, sb := ht.NewStamp(), ht.NewStamp()
-		la := ht.Hash(ia[lo:hi], sa)
-		lb := ht.Hash(ib[lo:hi], sb)
-		sched := schedule.Build(p, ht, sa|sb, 0)
-
-		buf := make([]float64, sched.MinLen())
-		copy(buf, y)
-		schedule.Gather(p, sched, buf)
-		acc := make([]float64, sched.MinLen())
-		copy(acc, x)
-		for k := range la {
-			acc[la[k]] += buf[lb[k]]
-		}
-		p.ComputeFlops(len(la))
-		schedule.Scatter(p, sched, acc, schedule.OpAdd)
-
-		for i, g := range d.Globals() {
-			if e := math.Abs(acc[i] - want[g]); e > maxErr {
-				maxErr = e
-			}
-		}
-		worst := p.AllReduceScalarF64(comm.OpMax, maxErr)
-		if p.Rank() == 0 {
-			fmt.Printf("chaosnode: %d ranks (one OS process each), %d elems, %d iters\n", n, elems, iters)
-			fmt.Printf("chaosnode: global max |error| vs sequential loop = %.2e\n", worst)
-			if worst > 1e-9 {
-				fmt.Println("chaosnode: RESULT MISMATCH")
-			} else {
-				fmt.Println("chaosnode: OK")
-			}
-		}
-		p.Barrier()
-	})
-	fmt.Printf("chaosnode: rank %d done: virtual %.4fs, sent %d msgs / %d bytes\n",
-		rank, clock, stats.MsgsSent, stats.BytesSent)
-	if maxErr > 1e-9 {
-		os.Exit(1)
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("-rank %d out of range: -addrs lists %d ranks", rank, len(addrs))
 	}
+	return addrs, nil
 }

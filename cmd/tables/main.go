@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tables [-quick] [-table N] [-datamotion] [-inspector] [-markdown | -json]
+//	tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-markdown | -json]
 //
 // Without -table, all tables run. -quick uses the shrunken scale (seconds
 // instead of minutes of wall time). -markdown emits GitHub-flavoured
@@ -12,7 +12,9 @@
 // one record per table row, for downstream tooling. -datamotion runs only
 // the wall-clock data-motion microbenchmark table (ns/op and allocs/op of
 // the executor collectives, not virtual time); -inspector likewise runs
-// only the wall-clock adaptive-inspector benchmark table.
+// only the wall-clock adaptive-inspector benchmark table; -cluster runs
+// only the chaosd cluster-service throughput table (jobs/min and elastic
+// restore counts through an in-process coordinator and worker pool).
 package main
 
 import (
@@ -31,8 +33,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit newline-delimited JSON, one record per table row")
 	datamotion := flag.Bool("datamotion", false, "run only the wall-clock data-motion benchmark table")
 	inspector := flag.Bool("inspector", false, "run only the wall-clock adaptive-inspector benchmark table")
+	clusterT := flag.Bool("cluster", false, "run only the chaosd cluster-service throughput table")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-inspector] [-markdown | -json]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-markdown | -json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,15 +54,24 @@ func main() {
 	if *quick {
 		sc = bench.Quick()
 	}
-	if *datamotion || *inspector {
-		if *table != 0 || (*datamotion && *inspector) {
-			fmt.Fprintln(os.Stderr, "tables: -datamotion, -inspector and -table are mutually exclusive")
+	if *datamotion || *inspector || *clusterT {
+		picked := 0
+		for _, b := range []bool{*datamotion, *inspector, *clusterT} {
+			if b {
+				picked++
+			}
+		}
+		if *table != 0 || picked > 1 {
+			fmt.Fprintln(os.Stderr, "tables: -datamotion, -inspector, -cluster and -table are mutually exclusive")
 			flag.Usage()
 			os.Exit(2)
 		}
 		t := bench.DataMotion()
 		if *inspector {
 			t = bench.Inspector()
+		}
+		if *clusterT {
+			t = bench.Cluster()
 		}
 		switch {
 		case *jsonOut:

@@ -9,8 +9,11 @@ import (
 
 // determinismAllowlist names package-path suffixes exempt from the
 // determinism analyzer: transports legitimately consult wall-clock time
-// (dial deadlines, backoff) and CLI drivers report wall time to humans.
-var determinismAllowlist = []string{"internal/comm"}
+// (dial deadlines, backoff), the cluster serving layer lives on wall-clock
+// heartbeats and probes by design (its compute payload, internal/cluster/
+// apps, is NOT exempt — the suffix match does not cover subpackages), and
+// CLI drivers report wall time to humans.
+var determinismAllowlist = []string{"internal/comm", "internal/cluster"}
 
 // randConstructors are math/rand functions that build seeded generators
 // rather than draw from the shared global source; they are deterministic

@@ -1,0 +1,202 @@
+// Cluster benchmark: end-to-end job throughput of the chaosd serving layer
+// — coordinator, worker pool, TCP rank meshes, checkpoint/restore — run
+// in-process. Like the data-motion and inspector tables (and unlike Tables
+// 1-7) this measures real wall time: jobs per minute through the queue,
+// plus how many failure restarts and elastic checkpoint restores the churn
+// scenario needed. The checksums still gate the result — a scenario only
+// counts if every job finishes done.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/apps"
+)
+
+// clusterOutcome aggregates one scenario's run.
+type clusterOutcome struct {
+	wall     time.Duration
+	jobs     int
+	restarts int
+	restores int
+}
+
+// serveOn starts an HTTP server for h on a fresh loopback port.
+func serveOn(h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return srv, "http://" + ln.Addr().String(), nil
+}
+
+// runClusterScenario brings up a coordinator plus nworkers workers,
+// submits the specs, waits for every job to finish done, and reports the
+// wall time and restart/restore counts.
+func runClusterScenario(nworkers, maxConc int, specs []cluster.JobSpec) (clusterOutcome, error) {
+	var out clusterOutcome
+	co := cluster.NewCoordinator(cluster.Options{
+		MaxConcurrent:  maxConc,
+		RanksPerWorker: 2,
+		HeartbeatTTL:   5 * time.Second,
+		ProbeInterval:  50 * time.Millisecond,
+	})
+	defer co.Close()
+	csrv, base, err := serveOn(co.Handler())
+	if err != nil {
+		return out, err
+	}
+	defer csrv.Close()
+
+	for i := 0; i < nworkers; i++ {
+		var w *cluster.Worker
+		wsrv, wurl, err := serveOn(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			w.Handler().ServeHTTP(rw, r)
+		}))
+		if err != nil {
+			return out, err
+		}
+		defer wsrv.Close()
+		w, err = cluster.NewWorker(cluster.WorkerOptions{
+			ID:             fmt.Sprintf("bench-w%d", i),
+			CoordinatorURL: base,
+			SelfURL:        wurl,
+			HeartbeatEvery: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return out, err
+		}
+		defer w.Close()
+	}
+
+	// Wait for the full pool to register before timing starts.
+	deadline := time.Now().Add(10 * time.Second) // chaosvet:ignore determinism — wall-clock benchmark by design
+	for {
+		var cs cluster.ClusterStatus
+		if err := getJSON(base+"/cluster", &cs); err != nil {
+			return out, err
+		}
+		if len(cs.Workers) == nworkers {
+			break
+		}
+		if time.Now().After(deadline) { // chaosvet:ignore determinism — wall-clock benchmark by design
+			return out, fmt.Errorf("bench: only %d of %d workers registered", len(cs.Workers), nworkers)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	start := time.Now() // chaosvet:ignore determinism — this table measures real wall-clock throughput by design
+	ids := make([]string, 0, len(specs))
+	for _, spec := range specs {
+		b, err := json.Marshal(spec)
+		if err != nil {
+			return out, err
+		}
+		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(string(b)))
+		if err != nil {
+			return out, err
+		}
+		var st cluster.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return out, err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return out, fmt.Errorf("bench: job rejected: %s", resp.Status)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	waitUntil := time.Now().Add(3 * time.Minute) // chaosvet:ignore determinism — wall-clock benchmark by design
+	for _, id := range ids {
+		for {
+			var st cluster.JobStatus
+			if err := getJSON(base+"/jobs/"+id, &st); err != nil {
+				return out, err
+			}
+			if st.State.Terminal() {
+				if st.State != cluster.JobDone {
+					return out, fmt.Errorf("bench: job %s %s: %s", id, st.State, st.Error)
+				}
+				out.jobs++
+				out.restarts += st.Restarts
+				out.restores += st.Restores
+				break
+			}
+			if time.Now().After(waitUntil) { // chaosvet:ignore determinism — wall-clock benchmark by design
+				return out, fmt.Errorf("bench: job %s still %s", id, st.State)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	out.wall = time.Since(start) // chaosvet:ignore determinism — wall-clock by design
+	return out, nil
+}
+
+// getJSON decodes a GET into out.
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bench: GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Cluster benchmarks the chaosd serving layer: a clean scenario (a batch of
+// jobs through the shared pool) and a churn scenario (the chaos monkey
+// kills a worker mid-job, forcing a checkpoint restore onto the
+// survivors).
+func Cluster() *Table {
+	const nworkers = 3
+	t := &Table{
+		ID:      "Cluster",
+		Title:   "chaosd cluster service: job throughput and elastic restores (in-process)",
+		Columns: []string{"Scenario", "Workers", "Jobs", "jobs/min", "Restarts", "Restores"},
+		Notes: []string{
+			"real wall time, not virtual: coordinator + workers + TCP rank meshes in one process",
+			"churn: a fault-plan kill takes down one worker mid-job; the job restores from",
+			"its latest sealed checkpoint onto the survivors (elastic P→Q) and must still",
+			"finish with the fault-free checksum (asserted by the cluster soak tests)",
+		},
+	}
+	row := func(name string, o clusterOutcome, err error) {
+		if err != nil {
+			t.Rows = append(t.Rows, []string{name, fmt.Sprint(nworkers), "-", "error: " + err.Error(), "-", "-"})
+			return
+		}
+		perMin := float64(o.jobs) / o.wall.Minutes()
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprint(nworkers), fmt.Sprint(o.jobs),
+			fmt.Sprintf("%.1f", perMin), fmt.Sprint(o.restarts), fmt.Sprint(o.restores),
+		})
+	}
+
+	clean, err := runClusterScenario(nworkers, 2, []cluster.JobSpec{
+		{Spec: apps.Spec{App: "fig1", Elems: 2000, Iters: 6000}},
+		{Spec: apps.Spec{App: "dsmc", Elems: 600, Steps: 8}},
+		{Spec: apps.Spec{App: "fig1", Elems: 2000, Iters: 6000}},
+		{Spec: apps.Spec{App: "dsmc", Elems: 600, Steps: 8}},
+	})
+	row("clean x4", clean, err)
+
+	churn, err := runClusterScenario(nworkers, 2, []cluster.JobSpec{
+		{Spec: apps.Spec{App: "dsmc", Elems: 600, Steps: 8, CheckpointEvery: 2},
+			MinWorkers: nworkers, FaultPlan: "seed=7,kill=1@250"},
+		{Spec: apps.Spec{App: "fig1", Elems: 2000, Iters: 6000}},
+	})
+	row("churn x2 (1 kill)", churn, err)
+	return t
+}

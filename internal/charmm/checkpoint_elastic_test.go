@@ -1,0 +1,69 @@
+package charmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+)
+
+// TestElasticRestoreEdgeCounts covers the extreme restore shapes: Q=1
+// (every shard of a 4-rank checkpoint lands on one rank) and Q>P (a 2-rank
+// checkpoint restored onto 5 ranks, so some start with no atoms at all).
+// The physical checks match TestElasticRestoreAcrossProcCounts: every atom
+// present exactly once, checksum matching the uninterrupted run.
+func TestElasticRestoreEdgeCounts(t *testing.T) {
+	cfg := ckptConfig()
+	var wantChecksum float64
+	comm.Run(4, costmodel.IPSC860(), func(p *comm.Proc) {
+		res := Run(p, cfg)
+		if p.Rank() == 0 {
+			wantChecksum = res.Checksum
+		}
+	})
+
+	for _, pc := range []struct{ writeP, restoreQ int }{{4, 1}, {2, 5}} {
+		base := t.TempDir()
+		first := cfg
+		first.Steps = 6
+		first.CheckpointEvery = 6
+		first.CheckpointDir = base
+		comm.Run(pc.writeP, costmodel.IPSC860(), func(p *comm.Proc) {
+			Run(p, first)
+		})
+		dir, ok := checkpoint.Latest(base)
+		if !ok {
+			t.Fatalf("P=%d: no checkpoint written", pc.writeP)
+		}
+
+		resumed := cfg
+		resumed.ResumeFrom = dir
+		finals := runKeepStateAll(t, pc.restoreQ, resumed)
+		seen := map[int32]bool{}
+		for _, f := range finals {
+			for _, g := range f.Globals {
+				if seen[g] {
+					t.Fatalf("P=%d->Q=%d: atom %d restored twice", pc.writeP, pc.restoreQ, g)
+				}
+				seen[g] = true
+			}
+		}
+		if len(seen) != cfg.NAtoms {
+			t.Fatalf("P=%d->Q=%d: %d atoms after elastic restore, want %d",
+				pc.writeP, pc.restoreQ, len(seen), cfg.NAtoms)
+		}
+		sum, n := 0.0, 0
+		for _, f := range finals {
+			for _, v := range f.Pos {
+				sum += math.Abs(v)
+				n++
+			}
+		}
+		got := sum / float64(n)
+		if math.Abs(got-wantChecksum) > 1e-9*math.Abs(wantChecksum) {
+			t.Fatalf("P=%d->Q=%d: checksum %v, want %v", pc.writeP, pc.restoreQ, got, wantChecksum)
+		}
+	}
+}

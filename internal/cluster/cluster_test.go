@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/apps"
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+)
+
+// referenceChecksum runs the spec fault-free over the in-memory transport
+// on n ranks — the answer any cluster deployment must reproduce.
+func referenceChecksum(t *testing.T, spec apps.Spec, n int) float64 {
+	t.Helper()
+	spec.Normalize()
+	var sum float64
+	comm.Run(n, costmodel.IPSC860(), func(p *comm.Proc) {
+		res := apps.Run(p, spec)
+		if p.Rank() == 0 {
+			sum = res.Checksum
+		}
+	})
+	return sum
+}
+
+// swapHandler lets a test start an HTTP server before the Worker that will
+// serve it exists (NewWorker needs the server's URL, the server needs the
+// worker's handler). Until the handler is set it answers 503, which the
+// coordinator treats as a failed probe and retries.
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// testCluster is an in-process coordinator plus worker pool over httptest
+// servers — real HTTP, real TCP rank meshes, no child processes.
+type testCluster struct {
+	t       *testing.T
+	coord   *Coordinator
+	srv     *httptest.Server
+	workers []*Worker
+	wsrvs   []*httptest.Server
+}
+
+func newTestCluster(t *testing.T, opts Options, nworkers int) *testCluster {
+	t.Helper()
+	if opts.HeartbeatTTL == 0 {
+		opts.HeartbeatTTL = 2 * time.Second
+	}
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = 50 * time.Millisecond
+	}
+	if opts.DataDir == "" {
+		opts.DataDir = t.TempDir()
+	}
+	tc := &testCluster{t: t, coord: NewCoordinator(opts)}
+	tc.srv = httptest.NewServer(tc.coord.Handler())
+	t.Cleanup(func() {
+		tc.srv.Close()
+		tc.coord.Close()
+	})
+	for i := 0; i < nworkers; i++ {
+		tc.addWorker(fmt.Sprintf("w%d", i))
+	}
+	return tc
+}
+
+func (tc *testCluster) addWorker(id string) *Worker {
+	tc.t.Helper()
+	sh := &swapHandler{}
+	srv := httptest.NewServer(sh)
+	w, err := NewWorker(WorkerOptions{
+		ID:             id,
+		CoordinatorURL: tc.srv.URL,
+		SelfURL:        srv.URL,
+		HeartbeatEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		srv.Close()
+		tc.t.Fatalf("NewWorker: %v", err)
+	}
+	sh.set(w.Handler())
+	tc.workers = append(tc.workers, w)
+	tc.wsrvs = append(tc.wsrvs, srv)
+	tc.t.Cleanup(func() {
+		w.Close()
+		srv.Close()
+	})
+	return w
+}
+
+// get decodes a GET of path into out.
+func (tc *testCluster) get(path string, out any) {
+	tc.t.Helper()
+	resp, err := http.Get(tc.srv.URL + path)
+	if err != nil {
+		tc.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tc.t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		tc.t.Fatalf("GET %s decode: %v", path, err)
+	}
+}
+
+// submit posts a job spec and returns the accepted status.
+func (tc *testCluster) submit(spec JobSpec) JobStatus {
+	tc.t.Helper()
+	b, _ := json.Marshal(spec)
+	resp, err := http.Post(tc.srv.URL+"/jobs", "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		tc.t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		tc.t.Fatalf("POST /jobs: %s", resp.Status)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		tc.t.Fatalf("POST /jobs decode: %v", err)
+	}
+	return st
+}
+
+// waitState polls a job until it reaches a terminal state.
+func (tc *testCluster) waitState(id string, timeout time.Duration) JobStatus {
+	tc.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var st JobStatus
+		tc.get("/jobs/"+id, &st)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			tc.t.Fatalf("job %s still %s after %v (error %q)", id, st.State, timeout, st.Error)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitWorkers polls /cluster until n workers are registered.
+func (tc *testCluster) waitWorkers(n int) {
+	tc.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var cs ClusterStatus
+		tc.get("/cluster", &cs)
+		if len(cs.Workers) == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			tc.t.Fatalf("cluster has %d workers, want %d", len(cs.Workers), n)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

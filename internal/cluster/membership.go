@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Membership is the coordinator's worker registry. Workers join by
+// registering and stay live by heartbeating; a worker whose heartbeats
+// stop (TTL expiry) or whose probe fails is removed. Every change bumps a
+// generation counter, which the scheduler compares against each running
+// job's scheduling generation to detect churn worth rebalancing for.
+type Membership struct {
+	mu  sync.Mutex
+	ttl time.Duration
+	gen int64
+	ws  map[string]*member
+}
+
+type member struct {
+	id, url  string
+	lastSeen time.Time
+}
+
+// NewMembership returns a registry expiring workers after ttl without a
+// heartbeat.
+func NewMembership(ttl time.Duration) *Membership {
+	return &Membership{ttl: ttl, ws: map[string]*member{}}
+}
+
+// Register adds or refreshes a worker. It returns the resulting generation
+// and whether the worker (or its URL) was new — i.e. whether membership
+// actually changed.
+func (m *Membership) Register(id, url string) (gen int64, changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.ws[id]
+	if !ok || w.url != url {
+		m.ws[id] = &member{id: id, url: url, lastSeen: time.Now()}
+		m.gen++
+		return m.gen, true
+	}
+	w.lastSeen = time.Now()
+	return m.gen, false
+}
+
+// Touch refreshes a worker's heartbeat; false means the worker is unknown
+// (expired or never registered) and must re-register.
+func (m *Membership) Touch(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.ws[id]
+	if !ok {
+		return false
+	}
+	w.lastSeen = time.Now()
+	return true
+}
+
+// Remove drops a worker (failed probe, explicit leave).
+func (m *Membership) Remove(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.ws[id]; ok {
+		delete(m.ws, id)
+		m.gen++
+	}
+}
+
+// Expire removes every worker whose last heartbeat is older than the TTL
+// and returns their ids.
+func (m *Membership) Expire() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var dead []string
+	now := time.Now()
+	for id, w := range m.ws {
+		if now.Sub(w.lastSeen) > m.ttl {
+			dead = append(dead, id)
+		}
+	}
+	sort.Strings(dead)
+	for _, id := range dead {
+		delete(m.ws, id)
+		m.gen++
+	}
+	return dead
+}
+
+// Live returns the current workers sorted by id — a deterministic order,
+// so the rank layout of a job attempt is a pure function of the member
+// set.
+func (m *Membership) Live() []WorkerStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	out := make([]WorkerStatus, 0, len(m.ws))
+	for _, w := range m.ws {
+		out = append(out, WorkerStatus{ID: w.id, URL: w.url, AgeMS: now.Sub(w.lastSeen).Milliseconds()})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// URL returns a live worker's base URL.
+func (m *Membership) URL(id string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.ws[id]
+	if !ok {
+		return "", false
+	}
+	return w.url, true
+}
+
+// Generation returns the current membership generation.
+func (m *Membership) Generation() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import "sync"
+
+// Queue is the coordinator's FIFO job queue with a concurrency cap: jobs
+// start in submission order, at most max running at once, and a restarted
+// job re-enters at the front so an interrupted computation resumes before
+// new work starts. Safe for concurrent use.
+type Queue struct {
+	mu      sync.Mutex
+	max     int
+	running int
+	waiting []string
+}
+
+// NewQueue returns a queue admitting at most maxConcurrent running jobs
+// (values below 1 are clamped to 1).
+func NewQueue(maxConcurrent int) *Queue {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &Queue{max: maxConcurrent}
+}
+
+// Submit appends a job to the back of the queue.
+func (q *Queue) Submit(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.waiting = append(q.waiting, id)
+}
+
+// Requeue puts a job at the front of the queue (restart priority). The
+// caller must have already released the job's running slot via Release.
+func (q *Queue) Requeue(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.waiting = append([]string{id}, q.waiting...)
+}
+
+// Start pops the frontmost waiting job if a running slot is free,
+// claiming the slot. ok is false when the queue is empty or saturated.
+func (q *Queue) Start() (id string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.waiting) == 0 || q.running >= q.max {
+		return "", false
+	}
+	id = q.waiting[0]
+	q.waiting = q.waiting[1:]
+	q.running++
+	return id, true
+}
+
+// Unstart returns a job claimed by Start to the front of the queue and
+// releases its slot (used when scheduling finds no eligible workers).
+func (q *Queue) Unstart(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.waiting = append([]string{id}, q.waiting...)
+	q.running--
+}
+
+// Release frees one running slot (job finished, failed, or was requeued).
+func (q *Queue) Release() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.running > 0 {
+		q.running--
+	}
+}
+
+// Depth returns the number of waiting jobs.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.waiting)
+}
+
+// Running returns the number of claimed running slots.
+func (q *Queue) Running() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.running
+}
+
+// Snapshot returns the waiting job ids front-to-back.
+func (q *Queue) Snapshot() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]string, len(q.waiting))
+	copy(out, q.waiting)
+	return out
+}

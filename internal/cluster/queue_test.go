@@ -1,0 +1,93 @@
+package cluster
+
+import "testing"
+
+func drain(q *Queue) []string {
+	var got []string
+	for {
+		id, ok := q.Start()
+		if !ok {
+			return got
+		}
+		got = append(got, id)
+	}
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	q := NewQueue(10)
+	q.Submit("a")
+	q.Submit("b")
+	q.Submit("c")
+	got := drain(q)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("start order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueConcurrencyCap(t *testing.T) {
+	q := NewQueue(2)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		q.Submit(id)
+	}
+	if got := drain(q); len(got) != 2 {
+		t.Fatalf("cap 2 but started %v", got)
+	}
+	if q.Running() != 2 || q.Depth() != 2 {
+		t.Fatalf("running=%d depth=%d, want 2 and 2", q.Running(), q.Depth())
+	}
+	// Finishing one job frees exactly one slot.
+	q.Release()
+	if id, ok := q.Start(); !ok || id != "c" {
+		t.Fatalf("after release got %q/%v, want c", id, ok)
+	}
+	if _, ok := q.Start(); ok {
+		t.Fatal("queue exceeded its concurrency cap")
+	}
+}
+
+func TestQueueRequeueGoesToFront(t *testing.T) {
+	q := NewQueue(1)
+	q.Submit("a")
+	q.Submit("b")
+	id, _ := q.Start()
+	if id != "a" {
+		t.Fatalf("started %q, want a", id)
+	}
+	// a fails: its slot is released and it re-enters at the front, ahead
+	// of b — an interrupted computation resumes before new work starts.
+	q.Release()
+	q.Requeue("a")
+	if id, _ := q.Start(); id != "a" {
+		t.Fatalf("after requeue started %q, want a", id)
+	}
+}
+
+func TestQueueUnstartRestoresFrontAndSlot(t *testing.T) {
+	q := NewQueue(1)
+	q.Submit("a")
+	q.Submit("b")
+	id, _ := q.Start()
+	if q.Running() != 1 {
+		t.Fatalf("running=%d, want 1", q.Running())
+	}
+	// No eligible workers: the job goes back to the front, slot freed.
+	q.Unstart(id)
+	if q.Running() != 0 {
+		t.Fatalf("running=%d after Unstart, want 0", q.Running())
+	}
+	if got := q.Snapshot(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("waiting %v, want [a b]", got)
+	}
+}
+
+func TestQueueClampsMaxConcurrent(t *testing.T) {
+	q := NewQueue(0)
+	q.Submit("a")
+	q.Submit("b")
+	if got := drain(q); len(got) != 1 {
+		t.Fatalf("clamped cap should admit 1, started %v", got)
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/apps"
+)
+
+// TestSoakWorkerKilledMidJob is the single-process churn soak: a dsmc job
+// with a fault-plan kill runs on three workers; the kill lands after the
+// first checkpoint seals, the hosting worker commits suicide (the chaos
+// monkey), and the coordinator restores the job from the sealed checkpoint
+// onto the two survivors — an elastic 6→4 rank restore. The final checksum
+// must equal a fault-free in-memory run of the same spec.
+func TestSoakWorkerKilledMidJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second TCP soak")
+	}
+	spec := apps.Spec{App: "dsmc", Elems: 600, Steps: 8, CheckpointEvery: 2}
+	refSpec := spec
+	refSpec.CheckpointEvery = 0
+	want := referenceChecksum(t, refSpec, 4)
+
+	tc := newTestCluster(t, Options{RanksPerWorker: 2}, 3)
+	tc.waitWorkers(3)
+	// kill=1@250: rank 1's 250th send falls after the step-2 checkpoint
+	// but well before the job finishes (verified by the restore assertion
+	// below, which fails if the kill fires too early or not at all).
+	st := tc.submit(JobSpec{
+		Spec:       spec,
+		MinWorkers: 3,
+		FaultPlan:  "seed=7,kill=1@250",
+	})
+	final := tc.waitState(st.ID, 120*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("job %s: %s (%s)", final.ID, final.State, final.Error)
+	}
+	if final.Restarts == 0 {
+		t.Fatal("fault plan never killed a worker: no restart recorded")
+	}
+	if final.Restores == 0 {
+		t.Fatal("restart did not restore from a sealed checkpoint")
+	}
+	if final.Ranks != 4 || len(final.Workers) != 2 {
+		t.Fatalf("final attempt ran %d ranks on %v, want 4 ranks on the 2 survivors", final.Ranks, final.Workers)
+	}
+	if math.Abs(final.Checksum-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("checksum after churn %v, fault-free reference %v", final.Checksum, want)
+	}
+	// The dead worker must be gone from membership.
+	tc.waitWorkers(2)
+}
+
+// TestSoakConcurrentJobsSurviveChurn runs two jobs at once — one with the
+// chaos monkey armed, one clean — and requires both to finish with their
+// fault-free checksums. If the clean job is still running when the
+// monkey's victim dies, it loses its ranks hosted there and restarts as
+// well: churn is shared, correctness is per-job.
+func TestSoakConcurrentJobsSurviveChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second TCP soak")
+	}
+	dsmc := apps.Spec{App: "dsmc", Elems: 600, Steps: 8, CheckpointEvery: 2}
+	fig1 := apps.Spec{App: "fig1", Elems: 600, Iters: 2000}
+	refDsmc := dsmc
+	refDsmc.CheckpointEvery = 0
+	wantDsmc := referenceChecksum(t, refDsmc, 4)
+	wantFig1 := referenceChecksum(t, fig1, 4)
+
+	tc := newTestCluster(t, Options{RanksPerWorker: 2, MaxConcurrent: 2}, 3)
+	tc.waitWorkers(3)
+	a := tc.submit(JobSpec{Spec: dsmc, MinWorkers: 3, FaultPlan: "seed=7,kill=1@250"})
+	b := tc.submit(JobSpec{Spec: fig1, MinWorkers: 3})
+	fa := tc.waitState(a.ID, 120*time.Second)
+	fb := tc.waitState(b.ID, 120*time.Second)
+	if fa.State != JobDone {
+		t.Fatalf("dsmc job: %s (%s)", fa.State, fa.Error)
+	}
+	if fb.State != JobDone {
+		t.Fatalf("fig1 job: %s (%s)", fb.State, fb.Error)
+	}
+	if fa.Restarts == 0 || fa.Restores == 0 {
+		t.Fatalf("dsmc job restarts=%d restores=%d, want both > 0", fa.Restarts, fa.Restores)
+	}
+	if math.Abs(fa.Checksum-wantDsmc) > 1e-9*math.Abs(wantDsmc) {
+		t.Fatalf("dsmc checksum %v, reference %v", fa.Checksum, wantDsmc)
+	}
+	if math.Abs(fb.Checksum-wantFig1) > 1e-9*math.Abs(wantFig1) {
+		t.Fatalf("fig1 checksum %v, reference %v", fb.Checksum, wantFig1)
+	}
+}

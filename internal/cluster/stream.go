@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// journal is a job's append-only event log. Stream handlers replay it from
+// the start and then follow new events until the log closes (job reached a
+// terminal state). Followers poll rather than block on a condition
+// variable so a disconnected client's handler can observe its context and
+// exit instead of leaking.
+type journal struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+}
+
+// append stamps the event with its sequence number and records it.
+func (j *journal) append(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	e.Seq = len(j.events)
+	j.events = append(j.events, e)
+}
+
+// close marks the log complete; followers drain and return.
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.closed = true
+}
+
+// snapshot returns events[from:] and whether the log is closed.
+func (j *journal) snapshot(from int) ([]Event, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from >= len(j.events) {
+		return nil, j.closed
+	}
+	out := make([]Event, len(j.events)-from)
+	copy(out, j.events[from:])
+	return out, j.closed
+}
+
+// streamPoll is the follower poll interval. Short enough that a stream
+// feels live, long enough to stay invisible in profiles.
+const streamPoll = 15 * time.Millisecond
+
+// serveStream writes the journal to w as NDJSON: one JSON event per line,
+// flushed per batch, following until the log closes or the client leaves.
+func (j *journal) serveStream(ctx context.Context, w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, closed := j.snapshot(next)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		next += len(evs)
+		if len(evs) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(streamPoll):
+		}
+	}
+}

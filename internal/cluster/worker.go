@@ -1,0 +1,492 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cluster/apps"
+	"repro/internal/comm"
+	"repro/internal/comm/fault"
+	"repro/internal/costmodel"
+)
+
+// WorkerOptions configures a Worker. ID, CoordinatorURL, and SelfURL are
+// required; the rest default sensibly.
+type WorkerOptions struct {
+	// ID names the worker uniquely within the cluster.
+	ID string
+	// CoordinatorURL is the coordinator's base URL.
+	CoordinatorURL string
+	// SelfURL is this worker's base URL as the coordinator should dial it.
+	SelfURL string
+	// BindHost is the interface mesh listeners bind to (default 127.0.0.1).
+	BindHost string
+	// HeartbeatEvery paces heartbeats (default 1s; keep well under the
+	// coordinator's TTL).
+	HeartbeatEvery time.Duration
+	// MeshTimeout bounds TCP mesh formation per rank (default 15s).
+	MeshTimeout time.Duration
+	// Timeout bounds worker→coordinator HTTP calls (default 10s).
+	Timeout time.Duration
+}
+
+func (o *WorkerOptions) fill() error {
+	if o.ID == "" || o.CoordinatorURL == "" || o.SelfURL == "" {
+		return fmt.Errorf("cluster: worker needs ID, CoordinatorURL, and SelfURL")
+	}
+	if o.BindHost == "" {
+		o.BindHost = "127.0.0.1"
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = time.Second
+	}
+	if o.MeshTimeout <= 0 {
+		o.MeshTimeout = 15 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	return nil
+}
+
+// attemptKey identifies one scheduling of one job.
+type attemptKey struct {
+	job     string
+	attempt int
+}
+
+// attempt is the worker-side state of one job attempt: the hosted ranks,
+// their reserved listeners (between prepare and start), and their live
+// transports (after start).
+type attempt struct {
+	key    attemptKey
+	nranks int
+	ranks  []int
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	trs       []comm.Transport
+	aborted   bool
+	victim    bool // a fault-plan kill targets a hosted rank: die, don't report
+
+	errs   []string
+	sum    float64
+	maxErr float64
+	clock  float64
+	hasRes bool
+}
+
+// abortLocked tears down whatever the attempt holds. Caller holds a.mu.
+func (a *attempt) abortLocked() {
+	a.aborted = true
+	for _, ln := range a.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	a.listeners = nil
+	for _, tr := range a.trs {
+		if tr != nil {
+			_ = tr.Close() // best-effort: aborting poisons peers either way
+		}
+	}
+}
+
+// Worker hosts virtual ranks of cluster jobs: it registers with the
+// coordinator, heartbeats, reserves mesh ports on /prepare, runs ranks over
+// the TCP transport on /start, and reports each attempt's outcome. One
+// worker serves many concurrent jobs. A fault-plan kill that lands on a
+// hosted rank makes the whole worker commit suicide — the chaos-monkey
+// contract — after which Dead() is closed and every endpoint answers 503.
+type Worker struct {
+	opts   WorkerOptions
+	mux    *http.ServeMux
+	client *http.Client
+
+	mu       sync.Mutex
+	attempts map[attemptKey]*attempt
+	dead     bool
+
+	deadCh chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// NewWorker builds a worker and starts its register/heartbeat loop. The
+// caller must already be serving Handler() at SelfURL (the coordinator
+// probes /ping immediately after registration). Call Close to stop.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		opts:     opts,
+		client:   &http.Client{Timeout: opts.Timeout},
+		attempts: map[attemptKey]*attempt{},
+		deadCh:   make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+	w.mux = http.NewServeMux()
+	w.mux.HandleFunc("GET /ping", w.handlePing)
+	w.mux.HandleFunc("POST /prepare", w.handlePrepare)
+	w.mux.HandleFunc("POST /start", w.handleStart)
+	w.mux.HandleFunc("POST /abort", w.handleAbort)
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+	return w, nil
+}
+
+// Handler returns the worker's HTTP API.
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// Dead is closed when a fault-plan kill takes the worker down.
+func (w *Worker) Dead() <-chan struct{} { return w.deadCh }
+
+// Close stops heartbeats and aborts every hosted attempt.
+func (w *Worker) Close() {
+	w.once.Do(func() { close(w.stop) })
+	w.mu.Lock()
+	atts := make([]*attempt, 0, len(w.attempts))
+	for _, a := range w.attempts {
+		atts = append(atts, a)
+	}
+	w.mu.Unlock()
+	for _, a := range atts {
+		a.mu.Lock()
+		a.abortLocked()
+		a.mu.Unlock()
+	}
+	w.wg.Wait()
+}
+
+// die is the chaos-monkey suicide: mark dead (every endpoint 503s, the
+// heartbeat loop stops), close Dead, and cut every hosted attempt's
+// transports so peers see the same failure a crashed process would cause.
+func (w *Worker) die() {
+	w.mu.Lock()
+	if w.dead {
+		w.mu.Unlock()
+		return
+	}
+	w.dead = true
+	atts := make([]*attempt, 0, len(w.attempts))
+	for _, a := range w.attempts {
+		atts = append(atts, a)
+	}
+	w.mu.Unlock()
+	close(w.deadCh)
+	for _, a := range atts {
+		a.mu.Lock()
+		a.abortLocked()
+		a.mu.Unlock()
+	}
+}
+
+// isDead reports the suicide flag.
+func (w *Worker) isDead() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dead
+}
+
+// heartbeatLoop registers (retrying until the coordinator answers), then
+// touches the membership every HeartbeatEvery; a 404 means the coordinator
+// forgot us (restart, TTL expiry) and triggers re-registration.
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	registered := false
+	tick := time.NewTicker(w.opts.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		if w.isDead() {
+			return
+		}
+		if !registered {
+			registered = w.post("/workers/register",
+				registerRequest{ID: w.opts.ID, URL: w.opts.SelfURL}) == nil
+		} else {
+			err := w.post("/workers/heartbeat", registerRequest{ID: w.opts.ID})
+			if err != nil {
+				registered = false
+			}
+		}
+		select {
+		case <-w.stop:
+			return
+		case <-w.deadCh:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// post sends a JSON body to the coordinator.
+func (w *Worker) post(path string, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Post(w.opts.CoordinatorURL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) // chaosvet:ignore — drain for connection reuse
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s: %s", path, resp.Status)
+	}
+	return nil
+}
+
+// handlePing is GET /ping.
+func (w *Worker) handlePing(rw http.ResponseWriter, r *http.Request) {
+	if w.isDead() {
+		writeErr(rw, http.StatusServiceUnavailable, "worker %s is dead", w.opts.ID)
+		return
+	}
+	writeJSON(rw, http.StatusOK, struct{}{})
+}
+
+// handlePrepare is POST /prepare: reserve one mesh listener per hosted
+// rank and return their addresses. A stale attempt of the same job is
+// aborted first.
+func (w *Worker) handlePrepare(rw http.ResponseWriter, r *http.Request) {
+	if w.isDead() {
+		writeErr(rw, http.StatusServiceUnavailable, "worker %s is dead", w.opts.ID)
+		return
+	}
+	var req prepareRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeErr(rw, http.StatusBadRequest, "bad prepare: %v", err)
+		return
+	}
+	if req.NRanks <= 0 || len(req.Ranks) == 0 {
+		writeErr(rw, http.StatusBadRequest, "prepare needs nranks and ranks")
+		return
+	}
+	for _, rk := range req.Ranks {
+		if rk < 0 || rk >= req.NRanks {
+			writeErr(rw, http.StatusBadRequest, "rank %d out of range [0,%d)", rk, req.NRanks)
+			return
+		}
+	}
+	key := attemptKey{req.Job, req.Attempt}
+	a := &attempt{key: key, nranks: req.NRanks, ranks: req.Ranks}
+
+	addrs := make([]string, len(req.Ranks))
+	for i := range req.Ranks {
+		ln, err := net.Listen("tcp", net.JoinHostPort(w.opts.BindHost, "0"))
+		if err != nil {
+			a.mu.Lock()
+			a.abortLocked()
+			a.mu.Unlock()
+			writeErr(rw, http.StatusInternalServerError, "reserve port: %v", err)
+			return
+		}
+		a.listeners = append(a.listeners, ln)
+		addrs[i] = ln.Addr().String()
+	}
+
+	w.mu.Lock()
+	var stale []*attempt
+	for k, old := range w.attempts {
+		if k.job == req.Job {
+			stale = append(stale, old)
+			delete(w.attempts, k)
+		}
+	}
+	w.attempts[key] = a
+	w.mu.Unlock()
+	for _, old := range stale {
+		old.mu.Lock()
+		old.abortLocked()
+		old.mu.Unlock()
+	}
+	writeJSON(rw, http.StatusOK, prepareReply{Addrs: addrs})
+}
+
+// handleStart is POST /start: launch the prepared ranks against the
+// assembled address list.
+func (w *Worker) handleStart(rw http.ResponseWriter, r *http.Request) {
+	if w.isDead() {
+		writeErr(rw, http.StatusServiceUnavailable, "worker %s is dead", w.opts.ID)
+		return
+	}
+	var req startRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(rw, http.StatusBadRequest, "bad start: %v", err)
+		return
+	}
+	key := attemptKey{req.Job, req.Attempt}
+	w.mu.Lock()
+	a, ok := w.attempts[key]
+	w.mu.Unlock()
+	if !ok {
+		writeErr(rw, http.StatusBadRequest, "start without prepare for %s attempt %d", req.Job, req.Attempt)
+		return
+	}
+	if len(req.Addrs) != a.nranks || req.NRanks != a.nranks {
+		writeErr(rw, http.StatusBadRequest, "start addrs/nranks mismatch prepared attempt")
+		return
+	}
+	var plan *fault.Plan
+	if req.FaultPlan != "" {
+		var err error
+		plan, err = fault.Parse(req.FaultPlan)
+		if err != nil {
+			writeErr(rw, http.StatusBadRequest, "bad fault plan: %v", err)
+			return
+		}
+	}
+
+	a.mu.Lock()
+	if a.aborted {
+		a.mu.Unlock()
+		writeErr(rw, http.StatusConflict, "attempt already aborted")
+		return
+	}
+	lns := a.listeners
+	a.listeners = nil
+	a.trs = make([]comm.Transport, len(a.ranks))
+	if plan != nil {
+		for _, k := range plan.Kills {
+			for _, rk := range a.ranks {
+				if k.Rank == rk {
+					a.victim = true
+				}
+			}
+		}
+	}
+	a.mu.Unlock()
+
+	var ranksWG sync.WaitGroup
+	for i, rk := range a.ranks {
+		ranksWG.Add(1)
+		go w.runRank(a, &ranksWG, i, rk, lns[i], req.Addrs, req.Spec, plan)
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		ranksWG.Wait()
+		w.finishAttempt(a)
+	}()
+	writeJSON(rw, http.StatusOK, struct{}{})
+}
+
+// handleAbort is POST /abort: tear down a job attempt's listeners and
+// transports. Ranks already running panic PeerFailure when their
+// connections drop; finishAttempt sees the aborted flag and stays silent.
+func (w *Worker) handleAbort(rw http.ResponseWriter, r *http.Request) {
+	var req abortRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeErr(rw, http.StatusBadRequest, "bad abort: %v", err)
+		return
+	}
+	key := attemptKey{req.Job, req.Attempt}
+	w.mu.Lock()
+	a, ok := w.attempts[key]
+	if ok {
+		delete(w.attempts, key)
+	}
+	w.mu.Unlock()
+	if ok {
+		a.mu.Lock()
+		a.abortLocked()
+		a.mu.Unlock()
+	}
+	writeJSON(rw, http.StatusOK, struct{}{})
+}
+
+// runRank hosts one virtual rank: form the mesh from the pre-bound
+// listener, optionally wrap the fault injector, run the application, and
+// record the outcome on the attempt.
+func (w *Worker) runRank(a *attempt, wg *sync.WaitGroup, idx, rank int, ln net.Listener,
+	addrs []string, spec apps.Spec, plan *fault.Plan) {
+	defer wg.Done()
+	var tr comm.Transport
+	tr, err := comm.NewTCPEndpointOn(ln, rank, addrs, w.opts.MeshTimeout)
+	if err != nil {
+		a.mu.Lock()
+		a.errs = append(a.errs, fmt.Sprintf("rank %d mesh: %v", rank, err))
+		a.mu.Unlock()
+		return
+	}
+	if plan != nil {
+		// Every rank of the attempt (across all workers) wraps the same
+		// plan string, so both ends of each link agree on the schedule.
+		tr = fault.Wrap(tr, len(addrs), plan)
+	}
+	a.mu.Lock()
+	if a.aborted {
+		a.mu.Unlock()
+		_ = tr.Close() // attempt already torn down; nothing to report to
+		return
+	}
+	a.trs[idx] = tr
+	a.mu.Unlock()
+	defer tr.Close()
+
+	defer func() {
+		if e := recover(); e != nil {
+			a.mu.Lock()
+			a.errs = append(a.errs, fmt.Sprintf("rank %d: %v", rank, e))
+			a.mu.Unlock()
+		}
+	}()
+	clock, _ := comm.RunRank(rank, len(addrs), costmodel.IPSC860(), tr, func(p *comm.Proc) {
+		res := apps.Run(p, spec)
+		a.mu.Lock()
+		a.sum, a.maxErr, a.hasRes = res.Checksum, res.MaxErr, true
+		a.mu.Unlock()
+	})
+	a.mu.Lock()
+	if clock > a.clock {
+		a.clock = clock
+	}
+	a.mu.Unlock()
+}
+
+// finishAttempt runs once all hosted ranks of an attempt have returned:
+// drop the attempt, then either die (chaos-monkey victim), stay silent
+// (aborted), or report the verdict to the coordinator.
+func (w *Worker) finishAttempt(a *attempt) {
+	w.mu.Lock()
+	if cur, ok := w.attempts[a.key]; ok && cur == a {
+		delete(w.attempts, a.key)
+	}
+	w.mu.Unlock()
+
+	a.mu.Lock()
+	aborted, victim := a.aborted, a.victim
+	errs := a.errs
+	rep := doneReport{
+		Job: a.key.job, Attempt: a.key.attempt, Worker: w.opts.ID,
+		Checksum: a.sum, MaxErr: a.maxErr, Clock: a.clock,
+	}
+	hasRes := a.hasRes
+	a.mu.Unlock()
+
+	if victim && len(errs) > 0 {
+		// The fault plan killed one of our ranks: the worker dies with it,
+		// silently — the coordinator finds out the way it would for a
+		// crashed process (peer reports, failed probes, missed heartbeats).
+		w.die()
+		return
+	}
+	if aborted || w.isDead() {
+		return
+	}
+	if len(errs) > 0 {
+		rep.Err = errs[0]
+	} else if !hasRes {
+		rep.Err = "ranks finished without a result"
+	}
+	w.post("/internal/done", rep)
+}

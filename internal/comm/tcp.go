@@ -316,6 +316,31 @@ func NewTCPEndpoint(rank int, addrs []string, timeout time.Duration) (*TCPTransp
 	if rank < 0 || rank >= n {
 		return nil, fmt.Errorf("comm: rank %d out of range [0,%d)", rank, n)
 	}
+	if n == 1 {
+		return NewTCPEndpointOn(nil, rank, addrs, timeout)
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d listen on %s: %w", rank, addrs[rank], err)
+	}
+	return NewTCPEndpointOn(ln, rank, addrs, timeout)
+}
+
+// NewTCPEndpointOn is NewTCPEndpoint over a listener the caller has already
+// bound. It exists for supervisors (the chaosd worker pool) that must
+// reserve ports first, report the resulting addresses to a coordinator, and
+// only then — once the coordinator has assembled the full address list —
+// bring the rank up on the reserved port, without a close-and-rebind race.
+// The endpoint takes ownership of ln and closes it once the mesh is
+// connected (ln may be nil when n == 1, where no wiring happens at all).
+func NewTCPEndpointOn(ln net.Listener, rank int, addrs []string, timeout time.Duration) (*TCPTransport, error) {
+	n := len(addrs)
+	if rank < 0 || rank >= n {
+		if ln != nil {
+			ln.Close()
+		}
+		return nil, fmt.Errorf("comm: rank %d out of range [0,%d)", rank, n)
+	}
 	t := &TCPTransport{
 		n:        n,
 		rank:     rank,
@@ -328,11 +353,13 @@ func NewTCPEndpoint(rank int, addrs []string, timeout time.Duration) (*TCPTransp
 		t.boxes[i] = newMailbox()
 	}
 	if n == 1 {
+		if ln != nil {
+			ln.Close()
+		}
 		return t, nil
 	}
-	ln, err := net.Listen("tcp", addrs[rank])
-	if err != nil {
-		return nil, fmt.Errorf("comm: rank %d listen on %s: %w", rank, addrs[rank], err)
+	if ln == nil {
+		return nil, fmt.Errorf("comm: rank %d of %d needs a bound listener", rank, n)
 	}
 	defer ln.Close()
 

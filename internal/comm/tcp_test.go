@@ -206,3 +206,74 @@ func TestTCPEndpointRefusedPortBackoff(t *testing.T) {
 		t.Fatalf("refused port took %v to fail, deadline was %v", elapsed, deadline)
 	}
 }
+
+// TestTCPEndpointOnPreBoundListeners is the chaosd worker path: every rank
+// reserves its listener up front (so a scheduler can assemble the global
+// address list before anyone dials), then the mesh forms from the already-
+// bound listeners — no close-and-rebind race on the reserved ports.
+func TestTCPEndpointOnPreBoundListeners(t *testing.T) {
+	const n = 3
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for r := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	var wg sync.WaitGroup
+	sums := make([]int64, n)
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := NewTCPEndpointOn(lns[rank], rank, addrs, 10*time.Second)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer tr.Close()
+			RunRank(rank, n, costmodel.IPSC860(), tr, func(p *Proc) {
+				sums[rank] = p.AllReduceScalarI64(OpSum, int64(rank+1))
+				p.Barrier()
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		if sums[r] != n*(n+1)/2 {
+			t.Errorf("rank %d sum = %d, want %d", r, sums[r], n*(n+1)/2)
+		}
+	}
+}
+
+func TestTCPEndpointOnValidation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range rank: rejected, and the listener is closed for us.
+	if _, err := NewTCPEndpointOn(ln, 9, []string{"a", "b"}, time.Second); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if c, err := net.Dial("tcp", ln.Addr().String()); err == nil {
+		c.Close()
+		t.Error("listener still accepting after a rejected rank")
+	}
+	// A multi-rank mesh cannot form without a bound listener.
+	if _, err := NewTCPEndpointOn(nil, 0, []string{"a", "b"}, time.Second); err == nil {
+		t.Error("nil listener accepted for a 2-rank mesh")
+	}
+	// A single-rank "mesh" needs no listener at all.
+	tr, err := NewTCPEndpointOn(nil, 0, []string{"ignored"}, time.Second)
+	if err != nil {
+		t.Fatalf("single-rank endpoint: %v", err)
+	}
+	tr.Close()
+}
