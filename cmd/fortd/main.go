@@ -7,7 +7,14 @@
 //
 // Usage:
 //
-//	fortd [-procs N] [-steps N] [-degree D] [-redistribute N] program.fd
+//	fortd [-procs N] [-steps N] [-degree D] [-redistribute N] [-O] program.fd
+//	fortd -vet [-json] program.fd
+//
+// -O applies the program-level optimization plan (schedule reuse across
+// FORALLs, inspector hoisting out of DO time loops, message fusion, fused
+// append data motion); the default is the naive per-loop lowering (-O0).
+// -vet runs the same dataflow analyses and reports each opportunity as a
+// positioned diagnostic instead of executing the program.
 //
 // Synthetic data: every REAL array element is initialized from its global
 // index; CSR indirection rows get D pseudo-random partners; flat
@@ -17,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -33,6 +41,9 @@ func main() {
 	steps := flag.Int("steps", 3, "number of Step() executions")
 	degree := flag.Int("degree", 4, "partners per CSR indirection row")
 	redist := flag.Int("redistribute", 0, "redistribute MAP decompositions every N steps (0 = never)")
+	optimize := flag.Bool("O", false, "apply program-level optimizations (schedule reuse, hoisting, fusion)")
+	vet := flag.Bool("vet", false, "report program-level analysis diagnostics and exit")
+	jsonOut := flag.Bool("json", false, "with -vet, emit diagnostics as JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fortd [flags] program.fd")
@@ -43,55 +54,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fortd:", err)
 		os.Exit(1)
 	}
-	prog, err := fortd.Compile(string(src))
+	prog, err := fortd.CompileFile(flag.Arg(0), string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *vet {
+		diags := prog.Vet()
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(diags); err != nil {
+				fmt.Fprintln(os.Stderr, "fortd:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		fmt.Printf("%d finding(s)\n", len(diags))
+		return
 	}
 	fmt.Printf("compiled %s: %d FORALL nest(s)\n", flag.Arg(0), prog.NumLoops())
 
 	type summary struct {
 		checks map[string]float64
 		insp   []int
+		builds int
+		inspT  float64
+		execT  float64
 	}
 	results := make([]*summary, *procs)
 	rep := comm.Run(*procs, costmodel.IPSC860(), func(p *comm.Proc) {
-		in := prog.Instantiate(p)
-		// Synthetic initialization.
-		for _, name := range prog.RealNames() {
-			in.Real(name).SetByGlobal(func(g int32, c []float64) {
-				for k := range c {
-					c[k] = math.Sin(float64(g)*0.1 + float64(k))
-				}
-			})
+		var in *fortd.Instance
+		if *optimize {
+			in = prog.InstantiateOptimized(p)
+		} else {
+			in = prog.Instantiate(p)
 		}
-		for _, name := range prog.IndNames() {
-			dec := in.Decomposition(prog.IndDecomp(name))
-			if prog.IndIsCSR(name) {
-				n := int32(dec.N())
-				ptr := make([]int32, dec.NLocal()+1)
-				var vals []int32
-				for i, g := range dec.Globals() {
-					for d := 0; d < *degree; d++ {
-						vals = append(vals, (g*31+int32(d)*17+7)%n)
-					}
-					ptr[i+1] = int32(len(vals))
-				}
-				in.Ind(name).SetCSR(ptr, vals)
-			} else {
-				targetN := int32(prog.IndTargetN(name))
-				salt := int32(0)
-				for _, ch := range name {
-					salt = salt*31 + int32(ch)
-				}
-				salt = (salt%97 + 97) % 97
-				vals := make([]int32, dec.NLocal())
-				for i, g := range dec.Globals() {
-					vals[i] = (g*13 + 5 + salt) % targetN
-				}
-				in.Ind(name).SetFlat(vals)
-			}
-		}
+		in.InitSynthetic(*degree)
 		for s := 1; s <= *steps; s++ {
 			if *redist > 0 && s%*redist == 0 {
 				for _, name := range prog.MapDecompositions() {
@@ -122,6 +124,9 @@ func main() {
 		for i := 0; i < prog.NumSumLoops(); i++ {
 			sum.insp = append(sum.insp, in.Inspections(i))
 		}
+		sum.builds = in.InspectorBuilds()
+		sum.inspT = in.InspectorTime()
+		sum.execT = in.ExecutorTime()
 		results[p.Rank()] = sum
 	})
 
@@ -138,4 +143,10 @@ func main() {
 	for i, n := range results[0].insp {
 		fmt.Printf("  sum loop %d: inspector ran %d time(s) over %d step(s)\n", i, n, *steps)
 	}
+	mode := "-O0"
+	if *optimize {
+		mode = "-O"
+	}
+	fmt.Printf("  %s: %d inspector build(s), inspector %.4f virtual s, executor %.4f virtual s\n",
+		mode, results[0].builds, results[0].inspT, results[0].execT)
 }

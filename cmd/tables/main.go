@@ -34,8 +34,9 @@ func main() {
 	datamotion := flag.Bool("datamotion", false, "run only the wall-clock data-motion benchmark table")
 	inspector := flag.Bool("inspector", false, "run only the wall-clock adaptive-inspector benchmark table")
 	clusterT := flag.Bool("cluster", false, "run only the chaosd cluster-service throughput table")
+	loopir := flag.Bool("loopir", false, "run only the fortd -O0 vs -O schedule-reuse table")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-markdown | -json]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-loopir] [-markdown | -json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,15 +55,15 @@ func main() {
 	if *quick {
 		sc = bench.Quick()
 	}
-	if *datamotion || *inspector || *clusterT {
+	if *datamotion || *inspector || *clusterT || *loopir {
 		picked := 0
-		for _, b := range []bool{*datamotion, *inspector, *clusterT} {
+		for _, b := range []bool{*datamotion, *inspector, *clusterT, *loopir} {
 			if b {
 				picked++
 			}
 		}
 		if *table != 0 || picked > 1 {
-			fmt.Fprintln(os.Stderr, "tables: -datamotion, -inspector, -cluster and -table are mutually exclusive")
+			fmt.Fprintln(os.Stderr, "tables: -datamotion, -inspector, -cluster, -loopir and -table are mutually exclusive")
 			flag.Usage()
 			os.Exit(2)
 		}
@@ -72,6 +73,9 @@ func main() {
 		}
 		if *clusterT {
 			t = bench.Cluster()
+		}
+		if *loopir {
+			t = bench.Loopir()
 		}
 		switch {
 		case *jsonOut:

@@ -78,6 +78,7 @@ func All() []*Analyzer {
 		TagMatch,
 		Determinism,
 		UncheckedPeerFailure,
+		SchedReuse,
 	}
 }
 

@@ -1,7 +1,5 @@
 package fortd
 
-import "fmt"
-
 // symbols is the semantic-analysis symbol table.
 type symbols struct {
 	decomps map[string]*decl // DECOMPOSITION
@@ -54,18 +52,48 @@ type loopRef struct {
 	idx  int
 }
 
+// stmtInfo is the analyzed statement tree (mirrors the AST stmt tree with
+// loops resolved to loopRefs). The dataflow pass and the instance executor
+// both walk it.
+type stmtInfo struct {
+	kind  stmtKind
+	pos   Pos
+	loop  loopRef // stmtForall
+	ord   int     // stmtForall: index into analysis.order
+	adapt string  // stmtAdapt: indirection array name
+	doVar string  // stmtDo
+	doN   int     // stmtDo
+	body  []stmtInfo
+}
+
 // analysis is the result of semantic checking.
 type analysis struct {
+	file    string
 	syms    *symbols
 	sums    []*sumLoopInfo
 	appends []*appendLoopInfo
 	pairs   []*pairLoopInfo
-	// order[i] locates the i-th forall in program order.
+	// order[i] locates the i-th FORALL in source order (each loop appears
+	// once even when nested in a DO).
 	order []loopRef
+	// stmts is the executable statement tree in program order.
+	stmts []stmtInfo
+}
+
+// loopInfoPos returns the source position of the loop behind ref.
+func (an *analysis) loopInfoPos(ref loopRef) Pos {
+	switch ref.kind {
+	case loopSum:
+		return an.sums[ref.idx].f.pos
+	case loopPair:
+		return an.pairs[ref.idx].f.pos
+	default:
+		return an.appends[ref.idx].f.pos
+	}
 }
 
 // analyze performs semantic checking and classifies each FORALL.
-func analyze(prog *program) (*analysis, error) {
+func analyze(file string, prog *program) (*analysis, error) {
 	syms := &symbols{
 		decomps: map[string]*decl{},
 		dists:   map[string]DistKind{},
@@ -83,110 +111,149 @@ func analyze(prog *program) (*analysis, error) {
 		switch d.kind {
 		case declDecomposition:
 			if declared(d.name) {
-				return nil, fmt.Errorf("fortd: line %d: %q already declared", d.line, d.name)
+				return nil, errAt(file, d.pos, "%q already declared", d.name)
 			}
 			syms.decomps[d.name] = d
 			syms.dists[d.name] = DistBlock
 		case declDistribute:
 			if _, ok := syms.decomps[d.name]; !ok {
-				return nil, fmt.Errorf("fortd: line %d: DISTRIBUTE of undeclared decomposition %q", d.line, d.name)
+				return nil, errAt(file, d.pos, "DISTRIBUTE of undeclared decomposition %q", d.name)
 			}
 			syms.dists[d.name] = d.dist
 		case declReal:
 			if declared(d.name) {
-				return nil, fmt.Errorf("fortd: line %d: %q already declared", d.line, d.name)
+				return nil, errAt(file, d.pos, "%q already declared", d.name)
 			}
 			if _, ok := syms.decomps[d.decomp]; !ok {
-				return nil, fmt.Errorf("fortd: line %d: REAL %s aligned with undeclared decomposition %q", d.line, d.name, d.decomp)
+				return nil, errAt(file, d.pos, "REAL %s aligned with undeclared decomposition %q", d.name, d.decomp)
 			}
 			syms.reals[d.name] = d
 		case declIndirection:
 			if declared(d.name) {
-				return nil, fmt.Errorf("fortd: line %d: %q already declared", d.line, d.name)
+				return nil, errAt(file, d.pos, "%q already declared", d.name)
 			}
 			if _, ok := syms.decomps[d.decomp]; !ok {
-				return nil, fmt.Errorf("fortd: line %d: INDIRECTION %s aligned with undeclared decomposition %q", d.line, d.name, d.decomp)
+				return nil, errAt(file, d.pos, "INDIRECTION %s aligned with undeclared decomposition %q", d.name, d.decomp)
 			}
 			syms.inds[d.name] = d
 		}
 	}
 
-	an := &analysis{syms: syms}
-	for k := range prog.foralls {
-		f := &prog.foralls[k]
-		if _, ok := syms.decomps[f.overDec]; !ok {
-			return nil, fmt.Errorf("fortd: line %d: FORALL over undeclared decomposition %q", f.line, f.overDec)
-		}
-		switch {
-		case f.isAppend:
-			info, err := analyzeAppend(syms, f)
-			if err != nil {
-				return nil, err
-			}
-			an.order = append(an.order, loopRef{loopAppend, len(an.appends)})
-			an.appends = append(an.appends, info)
-		case f.isPair:
-			info, err := analyzePair(syms, f)
-			if err != nil {
-				return nil, err
-			}
-			an.order = append(an.order, loopRef{loopPair, len(an.pairs)})
-			an.pairs = append(an.pairs, info)
-		default:
-			info, err := analyzeSum(syms, f)
-			if err != nil {
-				return nil, err
-			}
-			an.order = append(an.order, loopRef{loopSum, len(an.sums)})
-			an.sums = append(an.sums, info)
-		}
+	an := &analysis{file: file, syms: syms}
+	stmts, err := an.analyzeStmts(prog.stmts)
+	if err != nil {
+		return nil, err
 	}
+	an.stmts = stmts
 	return an, nil
 }
 
+// analyzeStmts checks one statement sequence (the program body or a DO
+// body) and returns its analyzed form.
+func (an *analysis) analyzeStmts(stmts []stmt) ([]stmtInfo, error) {
+	out := make([]stmtInfo, 0, len(stmts))
+	for k := range stmts {
+		s := &stmts[k]
+		switch s.kind {
+		case stmtForall:
+			ref, err := an.analyzeForall(s.forall)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmtInfo{kind: stmtForall, pos: s.pos, loop: ref, ord: len(an.order) - 1})
+		case stmtAdapt:
+			if _, ok := an.syms.inds[s.adapt]; !ok {
+				return nil, errAt(an.file, s.pos, "ADAPT of undeclared indirection array %q", s.adapt)
+			}
+			out = append(out, stmtInfo{kind: stmtAdapt, pos: s.pos, adapt: s.adapt})
+		case stmtDo:
+			body, err := an.analyzeStmts(s.body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmtInfo{kind: stmtDo, pos: s.pos, doVar: s.doVar, doN: s.doN, body: body})
+		}
+	}
+	return out, nil
+}
+
+// analyzeForall classifies one FORALL nest and records it in program order.
+func (an *analysis) analyzeForall(f *forall) (loopRef, error) {
+	syms := an.syms
+	if _, ok := syms.decomps[f.overDec]; !ok {
+		return loopRef{}, errAt(an.file, f.pos, "FORALL over undeclared decomposition %q", f.overDec)
+	}
+	var ref loopRef
+	switch {
+	case f.isAppend:
+		info, err := analyzeAppend(an.file, syms, f)
+		if err != nil {
+			return loopRef{}, err
+		}
+		ref = loopRef{loopAppend, len(an.appends)}
+		an.appends = append(an.appends, info)
+	case f.isPair:
+		info, err := analyzePair(an.file, syms, f)
+		if err != nil {
+			return loopRef{}, err
+		}
+		ref = loopRef{loopPair, len(an.pairs)}
+		an.pairs = append(an.pairs, info)
+	default:
+		info, err := analyzeSum(an.file, syms, f)
+		if err != nil {
+			return loopRef{}, err
+		}
+		ref = loopRef{loopSum, len(an.sums)}
+		an.sums = append(an.sums, info)
+	}
+	an.order = append(an.order, ref)
+	return ref, nil
+}
+
 // analyzeSum checks the Figure 10 template constraints.
-func analyzeSum(syms *symbols, f *forall) (*sumLoopInfo, error) {
+func analyzeSum(file string, syms *symbols, f *forall) (*sumLoopInfo, error) {
 	ind, ok := syms.inds[f.innerInd]
 	if !ok {
-		return nil, fmt.Errorf("fortd: line %d: inner FORALL over undeclared indirection %q", f.line, f.innerInd)
+		return nil, errAt(file, f.pos, "inner FORALL over undeclared indirection %q", f.innerInd)
 	}
 	if !ind.csr {
-		return nil, fmt.Errorf("fortd: line %d: inner FORALL requires a CSR indirection, %q is flat", f.line, f.innerInd)
+		return nil, errAt(file, f.pos, "inner FORALL requires a CSR indirection, %q is flat", f.innerInd)
 	}
 	if ind.decomp != f.overDec {
-		return nil, fmt.Errorf("fortd: line %d: indirection %q is aligned with %q, not with the loop decomposition %q",
-			f.line, f.innerInd, ind.decomp, f.overDec)
+		return nil, errAt(file, f.pos, "indirection %q is aligned with %q, not with the loop decomposition %q",
+			f.innerInd, ind.decomp, f.overDec)
 	}
 
 	info := &sumLoopInfo{f: f}
 	checkSub := func(s subscript) error {
 		if s.Ind == "" {
 			if s.Var != f.outerVar {
-				return fmt.Errorf("fortd: line %d: direct subscript must be the outer variable %q, found %q", s.line, f.outerVar, s.Var)
+				return errAt(file, s.pos, "direct subscript must be the outer variable %q, found %q", f.outerVar, s.Var)
 			}
 			return nil
 		}
 		if s.Ind != f.innerInd {
-			return fmt.Errorf("fortd: line %d: only the loop indirection %q may subscript here, found %q", s.line, f.innerInd, s.Ind)
+			return errAt(file, s.pos, "only the loop indirection %q may subscript here, found %q", f.innerInd, s.Ind)
 		}
 		if s.Var != f.innerVar {
-			return fmt.Errorf("fortd: line %d: indirection subscript must be %s(%s)", s.line, f.innerInd, f.innerVar)
+			return errAt(file, s.pos, "indirection subscript must be %s(%s)", f.innerInd, f.innerVar)
 		}
 		return nil
 	}
 	noteRead := func(r *refExpr) error {
 		ra, ok := syms.reals[r.array]
 		if !ok {
-			return fmt.Errorf("fortd: line %d: read of undeclared array %q", r.sub.line, r.array)
+			return errAt(file, r.sub.pos, "read of undeclared array %q", r.array)
 		}
 		if ra.decomp != f.overDec {
-			return fmt.Errorf("fortd: line %d: array %q is aligned with %q, not %q", r.sub.line, r.array, ra.decomp, f.overDec)
+			return errAt(file, r.sub.pos, "array %q is aligned with %q, not %q", r.array, ra.decomp, f.overDec)
 		}
 		if info.readArr == "" {
 			info.readArr = r.array
 			info.width = ra.width
 		} else if info.readArr != r.array {
-			return fmt.Errorf("fortd: line %d: body reads both %q and %q; a single read array is supported", r.sub.line, info.readArr, r.array)
+			return errAt(file, r.sub.pos, "body reads both %q and %q; a single read array is supported", info.readArr, r.array)
 		}
 		return checkSub(r.sub)
 	}
@@ -206,7 +273,7 @@ func analyzeSum(syms *symbols, f *forall) (*sumLoopInfo, error) {
 		case *refExpr:
 			return noteRead(v)
 		default:
-			return fmt.Errorf("fortd: unknown expression node %T", e)
+			return errAt(file, f.pos, "unknown expression node %T", e)
 		}
 	}
 
@@ -214,16 +281,16 @@ func analyzeSum(syms *symbols, f *forall) (*sumLoopInfo, error) {
 		st := &f.reduces[i]
 		ta, ok := syms.reals[st.target.array]
 		if !ok {
-			return nil, fmt.Errorf("fortd: line %d: REDUCE into undeclared array %q", st.line, st.target.array)
+			return nil, errAt(file, st.pos, "REDUCE into undeclared array %q", st.target.array)
 		}
 		if ta.decomp != f.overDec {
-			return nil, fmt.Errorf("fortd: line %d: array %q is aligned with %q, not %q", st.line, st.target.array, ta.decomp, f.overDec)
+			return nil, errAt(file, st.pos, "array %q is aligned with %q, not %q", st.target.array, ta.decomp, f.overDec)
 		}
 		if info.redArr == "" {
 			info.redArr = st.target.array
 		} else if info.redArr != st.target.array {
-			return nil, fmt.Errorf("fortd: line %d: body reduces into both %q and %q; a single reduction array is supported",
-				st.line, info.redArr, st.target.array)
+			return nil, errAt(file, st.pos, "body reduces into both %q and %q; a single reduction array is supported",
+				info.redArr, st.target.array)
 		}
 		if err := checkSub(st.target.sub); err != nil {
 			return nil, err
@@ -234,40 +301,40 @@ func analyzeSum(syms *symbols, f *forall) (*sumLoopInfo, error) {
 		info.flops += exprOps(st.value) + 1 // +1 for the accumulation
 	}
 	if info.readArr == "" {
-		return nil, fmt.Errorf("fortd: line %d: loop body reads no array", f.line)
+		return nil, errAt(file, f.pos, "loop body reads no array")
 	}
 	if info.readArr == info.redArr {
-		return nil, fmt.Errorf("fortd: line %d: array %q is both read and reduced; use distinct arrays", f.line, info.readArr)
+		return nil, errAt(file, f.pos, "array %q is both read and reduced; use distinct arrays", info.readArr)
 	}
 	if syms.reals[info.redArr].width != info.width {
-		return nil, fmt.Errorf("fortd: line %d: read array %q (width %d) and reduction array %q (width %d) differ",
-			f.line, info.readArr, info.width, info.redArr, syms.reals[info.redArr].width)
+		return nil, errAt(file, f.pos, "read array %q (width %d) and reduction array %q (width %d) differ",
+			info.readArr, info.width, info.redArr, syms.reals[info.redArr].width)
 	}
 	info.flops *= info.width
 	return info, nil
 }
 
 // analyzeAppend checks the Figure 9/11 template constraints.
-func analyzeAppend(syms *symbols, f *forall) (*appendLoopInfo, error) {
+func analyzeAppend(file string, syms *symbols, f *forall) (*appendLoopInfo, error) {
 	if _, ok := syms.decomps[f.appendTarget]; !ok {
-		return nil, fmt.Errorf("fortd: line %d: REDUCE(APPEND) into undeclared decomposition %q", f.line, f.appendTarget)
+		return nil, errAt(file, f.pos, "REDUCE(APPEND) into undeclared decomposition %q", f.appendTarget)
 	}
 	dst, ok := syms.inds[f.appendDest]
 	if !ok {
-		return nil, fmt.Errorf("fortd: line %d: undeclared destination indirection %q", f.line, f.appendDest)
+		return nil, errAt(file, f.pos, "undeclared destination indirection %q", f.appendDest)
 	}
 	if dst.csr || dst.width != 1 {
-		return nil, fmt.Errorf("fortd: line %d: destination indirection %q must be flat with WIDTH 1", f.line, f.appendDest)
+		return nil, errAt(file, f.pos, "destination indirection %q must be flat with WIDTH 1", f.appendDest)
 	}
 	if dst.decomp != f.overDec {
-		return nil, fmt.Errorf("fortd: line %d: destination %q aligned with %q, not %q", f.line, f.appendDest, dst.decomp, f.overDec)
+		return nil, errAt(file, f.pos, "destination %q aligned with %q, not %q", f.appendDest, dst.decomp, f.overDec)
 	}
 	src, ok := syms.reals[f.appendSrc]
 	if !ok {
-		return nil, fmt.Errorf("fortd: line %d: undeclared record array %q", f.line, f.appendSrc)
+		return nil, errAt(file, f.pos, "undeclared record array %q", f.appendSrc)
 	}
 	if src.decomp != f.overDec {
-		return nil, fmt.Errorf("fortd: line %d: record array %q aligned with %q, not %q", f.line, f.appendSrc, src.decomp, f.overDec)
+		return nil, errAt(file, f.pos, "record array %q aligned with %q, not %q", f.appendSrc, src.decomp, f.overDec)
 	}
 	return &appendLoopInfo{f: f, width: src.width}, nil
 }
@@ -276,25 +343,25 @@ func analyzeAppend(syms *symbols, f *forall) (*appendLoopInfo, error) {
 // subscript is flatInd(outerVar) with at most two distinct flat
 // indirections aligned with the iteration decomposition, and all arrays
 // referenced share one (possibly different) data decomposition.
-func analyzePair(syms *symbols, f *forall) (*pairLoopInfo, error) {
+func analyzePair(file string, syms *symbols, f *forall) (*pairLoopInfo, error) {
 	info := &pairLoopInfo{f: f}
 	noteInd := func(s subscript) error {
 		if s.Ind == "" {
-			return fmt.Errorf("fortd: line %d: pair-form subscripts must go through an indirection array", s.line)
+			return errAt(file, s.pos, "pair-form subscripts must go through an indirection array")
 		}
 		if s.Var != f.outerVar {
-			return fmt.Errorf("fortd: line %d: subscript variable must be %q", s.line, f.outerVar)
+			return errAt(file, s.pos, "subscript variable must be %q", f.outerVar)
 		}
 		ind, ok := syms.inds[s.Ind]
 		if !ok {
-			return fmt.Errorf("fortd: line %d: undeclared indirection %q", s.line, s.Ind)
+			return errAt(file, s.pos, "undeclared indirection %q", s.Ind)
 		}
 		if ind.csr || ind.width != 1 {
-			return fmt.Errorf("fortd: line %d: pair-form indirection %q must be flat WIDTH 1", s.line, s.Ind)
+			return errAt(file, s.pos, "pair-form indirection %q must be flat WIDTH 1", s.Ind)
 		}
 		if ind.decomp != f.overDec {
-			return fmt.Errorf("fortd: line %d: indirection %q aligned with %q, not the loop decomposition %q",
-				s.line, s.Ind, ind.decomp, f.overDec)
+			return errAt(file, s.pos, "indirection %q aligned with %q, not the loop decomposition %q",
+				s.Ind, ind.decomp, f.overDec)
 		}
 		switch {
 		case info.indA == "" || info.indA == s.Ind:
@@ -302,32 +369,32 @@ func analyzePair(syms *symbols, f *forall) (*pairLoopInfo, error) {
 		case info.indB == "" || info.indB == s.Ind:
 			info.indB = s.Ind
 		default:
-			return fmt.Errorf("fortd: line %d: pair form supports at most two indirections; %q is a third", s.line, s.Ind)
+			return errAt(file, s.pos, "pair form supports at most two indirections; %q is a third", s.Ind)
 		}
 		return nil
 	}
-	noteArr := func(name string, line int, reduced bool) error {
+	noteArr := func(name string, pos Pos, reduced bool) error {
 		ra, ok := syms.reals[name]
 		if !ok {
-			return fmt.Errorf("fortd: line %d: undeclared array %q", line, name)
+			return errAt(file, pos, "undeclared array %q", name)
 		}
 		if info.dataDec == "" {
 			info.dataDec = ra.decomp
 		} else if info.dataDec != ra.decomp {
-			return fmt.Errorf("fortd: line %d: arrays span decompositions %q and %q", line, info.dataDec, ra.decomp)
+			return errAt(file, pos, "arrays span decompositions %q and %q", info.dataDec, ra.decomp)
 		}
 		if reduced {
 			if info.redArr == "" {
 				info.redArr = name
 			} else if info.redArr != name {
-				return fmt.Errorf("fortd: line %d: body reduces into both %q and %q", line, info.redArr, name)
+				return errAt(file, pos, "body reduces into both %q and %q", info.redArr, name)
 			}
 		} else {
 			if info.readArr == "" {
 				info.readArr = name
 				info.width = ra.width
 			} else if info.readArr != name {
-				return fmt.Errorf("fortd: line %d: body reads both %q and %q; a single read array is supported", line, info.readArr, name)
+				return errAt(file, pos, "body reads both %q and %q; a single read array is supported", info.readArr, name)
 			}
 		}
 		return nil
@@ -345,17 +412,17 @@ func analyzePair(syms *symbols, f *forall) (*pairLoopInfo, error) {
 		case *numExpr:
 			return nil
 		case *refExpr:
-			if err := noteArr(v.array, v.sub.line, false); err != nil {
+			if err := noteArr(v.array, v.sub.pos, false); err != nil {
 				return err
 			}
 			return noteInd(v.sub)
 		default:
-			return fmt.Errorf("fortd: unknown expression node %T", e)
+			return errAt(file, f.pos, "unknown expression node %T", e)
 		}
 	}
 	for i := range f.reduces {
 		st := &f.reduces[i]
-		if err := noteArr(st.target.array, st.line, true); err != nil {
+		if err := noteArr(st.target.array, st.pos, true); err != nil {
 			return nil, err
 		}
 		if err := noteInd(st.target.sub); err != nil {
@@ -367,14 +434,14 @@ func analyzePair(syms *symbols, f *forall) (*pairLoopInfo, error) {
 		info.flops += exprOps(st.value) + 1
 	}
 	if info.readArr == "" {
-		return nil, fmt.Errorf("fortd: line %d: pair loop reads no array", f.line)
+		return nil, errAt(file, f.pos, "pair loop reads no array")
 	}
 	if info.readArr == info.redArr {
-		return nil, fmt.Errorf("fortd: line %d: array %q is both read and reduced", f.line, info.readArr)
+		return nil, errAt(file, f.pos, "array %q is both read and reduced", info.readArr)
 	}
 	if syms.reals[info.redArr].width != info.width {
-		return nil, fmt.Errorf("fortd: line %d: read array %q (width %d) and reduction array %q (width %d) differ",
-			f.line, info.readArr, info.width, info.redArr, syms.reals[info.redArr].width)
+		return nil, errAt(file, f.pos, "read array %q (width %d) and reduction array %q (width %d) differ",
+			info.readArr, info.width, info.redArr, syms.reals[info.redArr].width)
 	}
 	if info.indB == "" {
 		info.indB = info.indA
@@ -392,5 +459,27 @@ func exprOps(e expr) int {
 		return 1 + exprOps(v.e)
 	default:
 		return 0
+	}
+}
+
+// indsOfLoop returns the indirection-array names a loop's inspector hashes,
+// sorted (sum loops hash one CSR array; pair loops hash their two flat
+// arrays; append loops route through their destination array).
+func (an *analysis) indsOfLoop(ref loopRef) []string {
+	switch ref.kind {
+	case loopSum:
+		return []string{an.sums[ref.idx].f.innerInd}
+	case loopPair:
+		info := an.pairs[ref.idx]
+		if info.indA == info.indB {
+			return []string{info.indA}
+		}
+		a, b := info.indA, info.indB
+		if a > b {
+			a, b = b, a
+		}
+		return []string{a, b}
+	default:
+		return []string{an.appends[ref.idx].f.appendDest}
 	}
 }

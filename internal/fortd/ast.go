@@ -29,7 +29,7 @@ const (
 // decl is one declaration statement.
 type decl struct {
 	kind declKind
-	line int
+	pos  Pos
 	// DECOMPOSITION name(n)
 	name string
 	n    int
@@ -45,9 +45,9 @@ type decl struct {
 // subscript is an array subscript inside a FORALL body: either the loop
 // variable itself (Ind == "") or ind(var) for an indirection array ind.
 type subscript struct {
-	Ind  string // indirection array name, "" for direct
-	Var  string // loop variable name
-	line int
+	Ind string // indirection array name, "" for direct
+	Var string // loop variable name
+	pos Pos
 }
 
 // expr is an arithmetic expression over array references and literals.
@@ -74,7 +74,7 @@ func (*refExpr) exprNode() {}
 
 // reduceStmt is one REDUCE(SUM, target, expr) statement.
 type reduceStmt struct {
-	line   int
+	pos    Pos
 	target refExpr
 	value  expr
 }
@@ -86,7 +86,7 @@ type reduceStmt struct {
 //   - append loop: FORALL i IN dec / REDUCE(APPEND, target(ind(i)), src(i))
 //     — the Figure 9/11 template.
 type forall struct {
-	line     int
+	pos      Pos
 	outerVar string
 	overDec  string // decomposition iterated by the outer loop
 
@@ -104,8 +104,32 @@ type forall struct {
 	appendSrc    string // real array providing the records
 }
 
+// stmtKind discriminates executable statements.
+type stmtKind int
+
+const (
+	stmtForall stmtKind = iota
+	stmtAdapt
+	stmtDo
+)
+
+// stmt is one executable statement: a FORALL nest, an ADAPT of an
+// indirection array (the host's adapter callback mutates it, modeling the
+// list regeneration of the paper's adaptive applications), or a DO time
+// loop whose body is a statement sequence. The statement tree is what the
+// program-level dataflow pass (ir.go) analyzes.
+type stmt struct {
+	kind   stmtKind
+	pos    Pos
+	forall *forall // stmtForall
+	adapt  string  // stmtAdapt: indirection array name
+	doVar  string  // stmtDo: loop variable (a time counter)
+	doN    int     // stmtDo: iteration count (DO v = 1, N)
+	body   []stmt  // stmtDo
+}
+
 // program is the parsed compilation unit.
 type program struct {
-	decls   []decl
-	foralls []forall
+	decls []decl
+	stmts []stmt
 }

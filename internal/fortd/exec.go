@@ -8,32 +8,53 @@ import (
 )
 
 // Program is a compiled Fortran D program: parsed, semantically checked,
-// ready to be instantiated on SPMD ranks.
+// analyzed by the program-level dataflow pass, ready to be instantiated on
+// SPMD ranks.
 type Program struct {
 	ast *program
 	an  *analysis
+	ir  *irProgram
 }
 
-// Compile parses and checks src.
+// CompileFile parses and checks src, attributing diagnostic positions to
+// the given file name.
+func CompileFile(file, src string) (*Program, error) {
+	ast, err := parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	an, err := analyze(file, ast)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: ast, an: an, ir: buildIR(an)}, nil
+}
+
+// Compile parses and checks src with positions attributed to "<input>".
 func Compile(src string) (*Program, error) {
-	ast, err := parse(src)
-	if err != nil {
-		return nil, err
-	}
-	an, err := analyze(ast)
-	if err != nil {
-		return nil, err
-	}
-	return &Program{ast: ast, an: an}, nil
+	return CompileFile("<input>", src)
 }
 
-// NumLoops returns the number of executable FORALL nests.
-func (pr *Program) NumLoops() int { return len(pr.ast.foralls) }
+// NumLoops returns the number of FORALL nests (each counted once, even when
+// nested in a DO time loop).
+func (pr *Program) NumLoops() int { return len(pr.an.order) }
+
+// Adapter is the host callback an ADAPT statement invokes: the host mutates
+// the named indirection array in place (list regeneration in the paper's
+// adaptive applications). Without a registered adapter, ADAPT bumps the
+// array's modification record (IndArray.Touch), forcing non-hoisted
+// inspectors to rebuild — the conservative model of "the host changed it".
+type Adapter func(name string, ia *loopir.IndArray)
 
 // Instance is a program instantiated on one SPMD rank: decompositions,
 // aligned arrays and compiled loops bound to the loopir runtime. Hosts set
 // array contents and CSR indirections by name, optionally redistribute
-// MAP-distributed decompositions, and call Step to execute the loops.
+// MAP-distributed decompositions, and call Step to execute the statements.
+//
+// Instantiate lowers every loop independently (-O0); InstantiateOptimized
+// additionally applies the program-level analysis plan (-O): schedule-
+// sharing groups, hoisted inspectors at DO entry, fused message runs and
+// fused append data motion.
 type Instance struct {
 	prog  *Program
 	P     *comm.Proc
@@ -43,27 +64,59 @@ type Instance struct {
 	inds  map[string]*loopir.IndArray
 	sums  []*loopir.SumLoop
 	pairs []*loopir.PairLoop
+
+	optimized bool
+	adapter   Adapter
+
+	// Optimization plan (nil/empty at -O0).
+	groups     []*loopir.SharedSched
+	sharedSum  map[int]bool // an.sums index -> loop is in a group
+	sharedPair map[int]bool // an.pairs index -> loop is in a group
+	hoistAt    map[*irScope][]*irLoop
+	runAt      map[int][]int // run-starting ord -> ords of the fused run
+
+	// Phase metrics (virtual seconds / cumulative counts).
+	inspTime     float64
+	execTime     float64
+	appendBuilds int
 }
 
-// AppendResult is the outcome of one REDUCE(APPEND) loop on this rank: the
-// records delivered to the rows this rank owns (arrival order) and the new
-// size of every owned row.
+// AppendResult is the outcome of one REDUCE(APPEND) execution on this rank:
+// the records delivered to the rows this rank owns (arrival order) and the
+// new size of every owned row. Loop identifies the FORALL in program order;
+// an append inside a DO yields one result per iteration.
 type AppendResult struct {
-	Loop    int // index into program order
+	Loop    int
 	Records []float64
 	Sizes   []int32
 }
 
-// Instantiate lowers the program onto one SPMD rank. Collective: all ranks
-// must instantiate the same program together.
+// Instantiate lowers the program onto one SPMD rank with per-loop
+// preprocessing (-O0). Collective: all ranks must instantiate the same
+// program together.
 func (pr *Program) Instantiate(p *comm.Proc) *Instance {
+	return pr.instantiate(p, false)
+}
+
+// InstantiateOptimized lowers the program with the program-level
+// optimization plan applied (-O): loops with identical indirection usage
+// share one schedule, loop-invariant inspectors hoist out of DO time loops,
+// adjacent same-schedule loops fuse their messages, and REDUCE(APPEND)
+// derives row sizes from the data motion. Results are bit-identical to
+// Instantiate; only preprocessing work and message counts drop. Collective.
+func (pr *Program) InstantiateOptimized(p *comm.Proc) *Instance {
+	return pr.instantiate(p, true)
+}
+
+func (pr *Program) instantiate(p *comm.Proc, optimized bool) *Instance {
 	in := &Instance{
-		prog:  pr,
-		P:     p,
-		lp:    loopir.NewProgram(p),
-		decs:  map[string]*loopir.Decomposition{},
-		reals: map[string]*loopir.RealArray{},
-		inds:  map[string]*loopir.IndArray{},
+		prog:      pr,
+		P:         p,
+		lp:        loopir.NewProgram(p),
+		decs:      map[string]*loopir.Decomposition{},
+		reals:     map[string]*loopir.RealArray{},
+		inds:      map[string]*loopir.IndArray{},
+		optimized: optimized,
 	}
 	for k := range pr.ast.decls {
 		d := &pr.ast.decls[k]
@@ -85,7 +138,7 @@ func (pr *Program) Instantiate(p *comm.Proc) *Instance {
 		}
 	}
 	// Compile the sum and pair loops now; append loops are executed per
-	// Step.
+	// encounter during Step.
 	for _, info := range pr.an.sums {
 		x := in.reals[info.readArr]
 		f := in.reals[info.redArr]
@@ -101,8 +154,266 @@ func (pr *Program) Instantiate(p *comm.Proc) *Instance {
 		body := compilePairBody(info)
 		in.pairs = append(in.pairs, in.lp.NewPairLoop(ia, ib, x, f, info.flops, body))
 	}
+	if optimized {
+		in.applyPlan()
+	}
 	return in
 }
+
+// applyPlan wires the dataflow-analysis results into the lowered loops.
+func (in *Instance) applyPlan() {
+	ir := in.prog.ir
+	in.sharedSum = map[int]bool{}
+	in.sharedPair = map[int]bool{}
+	in.hoistAt = map[*irScope][]*irLoop{}
+	in.runAt = map[int][]int{}
+
+	// Schedule-sharing groups: one SharedSched per group, every member loop
+	// delegates its preprocessing to it.
+	// chaosvet:ignore clock-charge — plan wiring only; charges happen when the loops run
+	for _, g := range ir.groups {
+		first := ir.loops[g[0]]
+		shared := in.lp.NewSharedSched(in.decs[first.dataDec])
+		for _, ord := range g {
+			l := ir.loops[ord]
+			switch l.ref.kind {
+			case loopSum:
+				in.sums[l.ref.idx].Share(shared)
+				in.sharedSum[l.ref.idx] = true
+			case loopPair:
+				in.pairs[l.ref.idx].Share(shared)
+				in.sharedPair[l.ref.idx] = true
+			}
+		}
+		in.groups = append(in.groups, shared)
+	}
+
+	// Hoisted inspectors run at the entry of the DO they hoist out of; the
+	// in-loop guard is compiled down to the re-check-only form.
+	for _, l := range ir.loops {
+		if l.hoistScope == nil {
+			continue
+		}
+		in.hoistAt[l.hoistScope] = append(in.hoistAt[l.hoistScope], l)
+		switch l.ref.kind {
+		case loopSum:
+			in.sums[l.ref.idx].SetHoisted(true)
+		case loopPair:
+			in.pairs[l.ref.idx].SetHoisted(true)
+		}
+	}
+
+	for _, run := range ir.fuseRuns {
+		in.runAt[run[0]] = run
+	}
+}
+
+// SetAdapter registers the host callback ADAPT statements invoke.
+func (in *Instance) SetAdapter(a Adapter) { in.adapter = a }
+
+// Decomposition returns the named decomposition.
+func (in *Instance) Decomposition(name string) *loopir.Decomposition {
+	d, ok := in.decs[name]
+	if !ok {
+		panic("fortd: unknown decomposition " + name)
+	}
+	return d
+}
+
+// Real returns the named real array.
+func (in *Instance) Real(name string) *loopir.RealArray {
+	a, ok := in.reals[name]
+	if !ok {
+		panic("fortd: unknown real array " + name)
+	}
+	return a
+}
+
+// Ind returns the named indirection array.
+func (in *Instance) Ind(name string) *loopir.IndArray {
+	a, ok := in.inds[name]
+	if !ok {
+		panic("fortd: unknown indirection array " + name)
+	}
+	return a
+}
+
+// Redistribute executes `DISTRIBUTE name(map)` for a MAP-distributed
+// decomposition: newOwners gives the new owner of each local element
+// (typically from an extrinsic partitioner, §5.1.1). Collective.
+func (in *Instance) Redistribute(name string, newOwners []int32) {
+	if in.prog.an.syms.dists[name] != DistMap {
+		panic(fmt.Sprintf("fortd: decomposition %q was not declared DISTRIBUTE(%s)", name, "MAP"))
+	}
+	in.Decomposition(name).Redistribute(newOwners)
+}
+
+// Step executes the whole statement tree once, in program order: FORALLs
+// run their loops (DO bodies repeat theirs), ADAPTs invoke the host
+// adapter. Sum and pair loops accumulate into their reduction arrays;
+// append executions return their results. Collective.
+func (in *Instance) Step() []AppendResult {
+	var out []AppendResult
+	in.execScope(in.prog.ir.root, &out)
+	return out
+}
+
+// execScope runs one loop-nest level (the program top level or a DO body).
+func (in *Instance) execScope(sc *irScope, out *[]AppendResult) {
+	if in.optimized && len(in.hoistAt[sc]) > 0 {
+		// Hoisted inspectors: loop-invariant preprocessing once at DO entry.
+		t0 := in.P.Clock()
+		for _, l := range in.hoistAt[sc] {
+			switch l.ref.kind {
+			case loopSum:
+				in.sums[l.ref.idx].Inspect()
+			case loopPair:
+				in.pairs[l.ref.idx].Inspect()
+			}
+		}
+		in.inspTime += in.P.Clock() - t0
+	}
+	reps := 1
+	if sc.doN > 0 {
+		reps = sc.doN
+	}
+	for it := 0; it < reps; it++ {
+		for i := 0; i < len(sc.stmts); i++ {
+			st := &sc.stmts[i]
+			switch {
+			case st.child != nil:
+				in.execScope(st.child, out)
+			case st.adapt != "":
+				ia := in.inds[st.adapt]
+				if in.adapter != nil {
+					in.adapter(st.adapt, ia)
+				} else {
+					ia.Touch()
+				}
+			case st.loop != nil:
+				if in.optimized {
+					if run, ok := in.runAt[st.loop.ord]; ok {
+						in.execFusedRun(run)
+						i += len(run) - 1
+						continue
+					}
+				}
+				in.execLoop(st.loop, out)
+			}
+		}
+	}
+}
+
+// execLoop runs one FORALL, timing the inspector and executor phases
+// separately (the Table 6 split).
+func (in *Instance) execLoop(l *irLoop, out *[]AppendResult) {
+	p := in.P
+	switch l.ref.kind {
+	case loopSum:
+		s := in.sums[l.ref.idx]
+		t0 := p.Clock()
+		s.Inspect()
+		t1 := p.Clock()
+		s.Execute()
+		in.inspTime += t1 - t0
+		in.execTime += p.Clock() - t1
+	case loopPair:
+		pl := in.pairs[l.ref.idx]
+		t0 := p.Clock()
+		pl.Inspect()
+		t1 := p.Clock()
+		pl.Execute()
+		in.inspTime += t1 - t0
+		in.execTime += p.Clock() - t1
+	case loopAppend:
+		info := in.prog.an.appends[l.ref.idx]
+		dest := in.inds[info.f.appendDest]
+		src := in.reals[info.f.appendSrc]
+		target := in.decs[info.f.appendTarget]
+		_, destRows := dest.CSR()
+		t0 := p.Clock()
+		var recv []float64
+		var sizes []int32
+		if in.optimized {
+			recv, sizes = loopir.ReduceAppendFused(p, target.Dist(), destRows, src.Local(), info.width)
+		} else {
+			recv, sizes = loopir.ReduceAppend(p, target.Dist(), destRows, src.Local(), info.width)
+			in.appendBuilds++
+		}
+		in.execTime += p.Clock() - t0
+		*out = append(*out, AppendResult{Loop: l.ord, Records: recv, Sizes: sizes})
+	}
+}
+
+// execFusedRun executes a fused run of same-group loops as one
+// communication phase.
+func (in *Instance) execFusedRun(run []int) {
+	ir := in.prog.ir
+	p := in.P
+	t0 := p.Clock()
+	switch ir.loops[run[0]].ref.kind {
+	case loopSum:
+		loops := make([]*loopir.SumLoop, len(run))
+		// chaosvet:ignore clock-charge — Inspect and ExecuteFusedSum charge internally
+		for i, ord := range run {
+			loops[i] = in.sums[ir.loops[ord].ref.idx]
+			loops[i].Inspect()
+		}
+		t1 := p.Clock()
+		loopir.ExecuteFusedSum(loops)
+		in.inspTime += t1 - t0
+		in.execTime += p.Clock() - t1
+	case loopPair:
+		loops := make([]*loopir.PairLoop, len(run))
+		// chaosvet:ignore clock-charge — Inspect and ExecuteFusedPair charge internally
+		for i, ord := range run {
+			loops[i] = in.pairs[ir.loops[ord].ref.idx]
+			loops[i].Inspect()
+		}
+		t1 := p.Clock()
+		loopir.ExecuteFusedPair(loops)
+		in.inspTime += t1 - t0
+		in.execTime += p.Clock() - t1
+	}
+}
+
+// Inspections returns the cumulative inspector executions of the i-th sum
+// loop (program order over sum loops), exposing the §5.3 reuse behaviour.
+func (in *Instance) Inspections(i int) int { return in.sums[i].Inspections() }
+
+// PairInspections returns the cumulative inspector executions of the i-th
+// pair loop.
+func (in *Instance) PairInspections(i int) int { return in.pairs[i].Inspections() }
+
+// InspectorBuilds returns the cumulative number of inspector builds this
+// rank paid: per-loop (or per-group) hash/schedule builds plus the per-
+// execution schedule builds of naive append size recomputation. The -O0 vs
+// -O delta on this counter is what BENCH_loopir tracks.
+func (in *Instance) InspectorBuilds() int {
+	n := in.appendBuilds
+	for i, l := range in.sums {
+		if !in.sharedSum[i] {
+			n += l.Inspections()
+		}
+	}
+	for i, l := range in.pairs {
+		if !in.sharedPair[i] {
+			n += l.Inspections()
+		}
+	}
+	for _, g := range in.groups {
+		n += g.Inspections()
+	}
+	return n
+}
+
+// InspectorTime returns the cumulative virtual time this rank spent in
+// inspector phases (hash-table builds, schedule builds, hoisted preprocessing).
+func (in *Instance) InspectorTime() float64 { return in.inspTime }
+
+// ExecutorTime returns the cumulative virtual time this rank spent in
+// executor phases (gathers, loop bodies, scatters, append data motion).
+func (in *Instance) ExecutorTime() float64 { return in.execTime }
 
 // compilePairBody turns the pair-form REDUCE(SUM) statements into a
 // loopir.PairBody: references through indA resolve to the (xi, fi) side,
@@ -204,73 +515,3 @@ func evalExpr(e expr, xi, xj []float64, c int) float64 {
 		panic(fmt.Sprintf("fortd: unknown expression node %T", e))
 	}
 }
-
-// Decomposition returns the named decomposition.
-func (in *Instance) Decomposition(name string) *loopir.Decomposition {
-	d, ok := in.decs[name]
-	if !ok {
-		panic("fortd: unknown decomposition " + name)
-	}
-	return d
-}
-
-// Real returns the named real array.
-func (in *Instance) Real(name string) *loopir.RealArray {
-	a, ok := in.reals[name]
-	if !ok {
-		panic("fortd: unknown real array " + name)
-	}
-	return a
-}
-
-// Ind returns the named indirection array.
-func (in *Instance) Ind(name string) *loopir.IndArray {
-	a, ok := in.inds[name]
-	if !ok {
-		panic("fortd: unknown indirection array " + name)
-	}
-	return a
-}
-
-// Redistribute executes `DISTRIBUTE name(map)` for a MAP-distributed
-// decomposition: newOwners gives the new owner of each local element
-// (typically from an extrinsic partitioner, §5.1.1). Collective.
-func (in *Instance) Redistribute(name string, newOwners []int32) {
-	if in.prog.an.syms.dists[name] != DistMap {
-		panic(fmt.Sprintf("fortd: decomposition %q was not declared DISTRIBUTE(%s)", name, "MAP"))
-	}
-	in.Decomposition(name).Redistribute(newOwners)
-}
-
-// Step executes every FORALL nest once, in program order. Sum loops
-// accumulate into their reduction arrays (generated inspectors re-run only
-// when an indirection array or a distribution changed); append loops return
-// their results. Collective.
-func (in *Instance) Step() []AppendResult {
-	var out []AppendResult
-	for i, ref := range in.prog.an.order {
-		switch ref.kind {
-		case loopSum:
-			in.sums[ref.idx].Execute()
-		case loopPair:
-			in.pairs[ref.idx].Execute()
-		case loopAppend:
-			info := in.prog.an.appends[ref.idx]
-			dest := in.inds[info.f.appendDest]
-			src := in.reals[info.f.appendSrc]
-			target := in.decs[info.f.appendTarget]
-			_, destRows := dest.CSR()
-			recv, sizes := loopir.ReduceAppend(in.P, target.Dist(), destRows, src.Local(), info.width)
-			out = append(out, AppendResult{Loop: i, Records: recv, Sizes: sizes})
-		}
-	}
-	return out
-}
-
-// Inspections returns the cumulative inspector executions of the i-th sum
-// loop (program order over sum loops), exposing the §5.3 reuse behaviour.
-func (in *Instance) Inspections(i int) int { return in.sums[i].Inspections() }
-
-// PairInspections returns the cumulative inspector executions of the i-th
-// pair loop.
-func (in *Instance) PairInspections(i int) int { return in.pairs[i].Inspections() }

@@ -21,14 +21,23 @@
 //	  REDUCE(APPEND, cells(dest(i)), parts(i))
 //	END FORALL
 //
+// Time loops and adaptivity are expressed with DO and ADAPT:
+//
+//	DO n = 1, 100
+//	  ADAPT jnb          ! the host's adapter callback mutates jnb
+//	  FORALL ...
+//	END DO
+//
 // Compile parses and semantically checks a program; Instantiate lowers it
 // onto the loopir runtime for one SPMD rank, producing the same
 // inspector/executor code (with modification records and schedule reuse)
-// the Syracuse Fortran 90D prototype generated.
+// the Syracuse Fortran 90D prototype generated. InstantiateOptimized
+// additionally applies the program-level schedule-reuse, inspector-hoisting
+// and message-fusion transformations (see ir.go), and Vet reports the same
+// analyses as positioned diagnostics.
 package fortd
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -48,6 +57,7 @@ const (
 	tokMinus
 	tokStar
 	tokSlash
+	tokEq
 )
 
 func (k tokKind) String() string {
@@ -74,22 +84,25 @@ func (k tokKind) String() string {
 		return "'*'"
 	case tokSlash:
 		return "'/'"
+	case tokEq:
+		return "'='"
 	default:
-		return fmt.Sprintf("tokKind(%d)", int(k))
+		return "tokKind(?)"
 	}
 }
 
-// token is one lexical token with its source line for diagnostics.
+// token is one lexical token with its source position for diagnostics.
 type token struct {
 	kind tokKind
 	text string
-	line int
+	pos  Pos
 }
 
 // lex splits src into tokens. Comments start with '!' anywhere, or with
 // 'C'/'c' in the first column (Fortran style); both run to end of line.
-// Newlines are significant (statements are line-oriented).
-func lex(src string) ([]token, error) {
+// Newlines are significant (statements are line-oriented). Columns are
+// 1-based byte offsets within the line.
+func lex(file, src string) ([]token, error) {
 	var toks []token
 	lines := strings.Split(src, "\n")
 	for ln, raw := range lines {
@@ -109,6 +122,7 @@ func lex(src string) ([]token, error) {
 		emitted := false
 		for i < len(raw) {
 			c := rune(raw[i])
+			pos := Pos{Line: line, Col: i + 1}
 			switch {
 			case c == ' ' || c == '\t' || c == '\r':
 				i++
@@ -117,7 +131,7 @@ func lex(src string) ([]token, error) {
 				for j < len(raw) && (isIdentChar(rune(raw[j]))) {
 					j++
 				}
-				toks = append(toks, token{tokIdent, raw[i:j], line})
+				toks = append(toks, token{tokIdent, raw[i:j], pos})
 				i = j
 				emitted = true
 			case unicode.IsDigit(c) || c == '.':
@@ -125,24 +139,24 @@ func lex(src string) ([]token, error) {
 				for j < len(raw) && (unicode.IsDigit(rune(raw[j])) || raw[j] == '.') {
 					j++
 				}
-				toks = append(toks, token{tokNumber, raw[i:j], line})
+				toks = append(toks, token{tokNumber, raw[i:j], pos})
 				i = j
 				emitted = true
 			default:
 				kind, ok := punct(c)
 				if !ok {
-					return nil, fmt.Errorf("fortd: line %d: unexpected character %q", line, c)
+					return nil, errAt(file, pos, "unexpected character %q", c)
 				}
-				toks = append(toks, token{kind, string(c), line})
+				toks = append(toks, token{kind, string(c), pos})
 				i++
 				emitted = true
 			}
 		}
 		if emitted {
-			toks = append(toks, token{tokNewline, "", line})
+			toks = append(toks, token{tokNewline, "", Pos{Line: line, Col: len(raw) + 1}})
 		}
 	}
-	toks = append(toks, token{tokEOF, "", len(lines)})
+	toks = append(toks, token{tokEOF, "", Pos{Line: len(lines), Col: 1}})
 	return toks, nil
 }
 
@@ -166,6 +180,8 @@ func punct(c rune) (tokKind, bool) {
 		return tokStar, true
 	case '/':
 		return tokSlash, true
+	case '=':
+		return tokEq, true
 	default:
 		return 0, false
 	}

@@ -1,13 +1,13 @@
 package fortd
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 )
 
 // parser consumes the token stream produced by lex.
 type parser struct {
+	file string
 	toks []token
 	pos  int
 }
@@ -15,7 +15,7 @@ type parser struct {
 func (p *parser) peek() token { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
 func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
-func (p *parser) line() int   { return p.peek().line }
+func (p *parser) at() Pos     { return p.peek().pos }
 func (p *parser) skipNL() {
 	for p.peek().kind == tokNewline {
 		p.pos++
@@ -23,7 +23,13 @@ func (p *parser) skipNL() {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("fortd: line %d: %s", p.line(), fmt.Sprintf(format, args...))
+	return errAt(p.file, p.at(), format, args...)
+}
+
+// errAt reports an error at an explicit position (for tokens already
+// consumed).
+func (p *parser) errAt(pos Pos, format string, args ...any) error {
+	return errAt(p.file, pos, format, args...)
 }
 
 // expect consumes a token of the given kind or fails.
@@ -42,7 +48,7 @@ func (p *parser) keyword(kw string) error {
 		return err
 	}
 	if !strings.EqualFold(t.text, kw) {
-		return fmt.Errorf("fortd: line %d: expected %q, found %q", t.line, kw, t.text)
+		return p.errAt(t.pos, "expected %q, found %q", kw, t.text)
 	}
 	return nil
 }
@@ -67,12 +73,12 @@ func (p *parser) endOfStmt() error {
 }
 
 // parse builds the program AST.
-func parse(src string) (*program, error) {
-	toks, err := lex(src)
+func parse(file, src string) (*program, error) {
+	toks, err := lex(file, src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{file: file, toks: toks}
 	prog := &program{}
 	for {
 		p.skipNL()
@@ -108,21 +114,123 @@ func parse(src string) (*program, error) {
 				return nil, err
 			}
 			prog.decls = append(prog.decls, d)
-		case "FORALL":
-			f, err := p.parseForall()
+		case "FORALL", "ADAPT", "DO":
+			s, err := p.parseStmt(0)
 			if err != nil {
 				return nil, err
 			}
-			prog.foralls = append(prog.foralls, f)
+			prog.stmts = append(prog.stmts, s)
 		default:
 			return nil, p.errf("unknown statement %q", t.text)
 		}
 	}
 }
 
+// maxDoDepth bounds DO nesting (keeps the recursive-descent parser robust
+// against adversarial inputs).
+const maxDoDepth = 16
+
+// parseStmt parses one executable statement: FORALL, ADAPT or DO.
+func (p *parser) parseStmt(depth int) (stmt, error) {
+	t := p.peek()
+	switch strings.ToUpper(t.text) {
+	case "FORALL":
+		f, err := p.parseForall()
+		if err != nil {
+			return stmt{}, err
+		}
+		return stmt{kind: stmtForall, pos: f.pos, forall: f}, nil
+	case "ADAPT":
+		return p.parseAdapt()
+	case "DO":
+		return p.parseDo(depth)
+	default:
+		return stmt{}, p.errf("expected FORALL, ADAPT or DO, found %q", t.text)
+	}
+}
+
+// ADAPT ind
+func (p *parser) parseAdapt() (stmt, error) {
+	s := stmt{kind: stmtAdapt, pos: p.at()}
+	if err := p.keyword("ADAPT"); err != nil {
+		return s, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return s, err
+	}
+	s.adapt = name.text
+	return s, p.endOfStmt()
+}
+
+// DO v = 1, N ... END DO
+func (p *parser) parseDo(depth int) (stmt, error) {
+	s := stmt{kind: stmtDo, pos: p.at()}
+	if depth >= maxDoDepth {
+		return s, p.errf("DO loops nested deeper than %d", maxDoDepth)
+	}
+	if err := p.keyword("DO"); err != nil {
+		return s, err
+	}
+	v, err := p.expect(tokIdent)
+	if err != nil {
+		return s, err
+	}
+	s.doVar = v.text
+	if _, err := p.expect(tokEq); err != nil {
+		return s, err
+	}
+	lo, err := p.expect(tokNumber)
+	if err != nil {
+		return s, err
+	}
+	if lo.text != "1" {
+		return s, p.errAt(lo.pos, "DO must count from 1, found %q", lo.text)
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return s, err
+	}
+	hi, err := p.expect(tokNumber)
+	if err != nil {
+		return s, err
+	}
+	n, convErr := strconv.Atoi(hi.text)
+	if convErr != nil || n < 1 {
+		return s, p.errAt(hi.pos, "bad DO iteration count %q", hi.text)
+	}
+	s.doN = n
+	if err := p.endOfStmt(); err != nil {
+		return s, err
+	}
+	for {
+		p.skipNL()
+		if p.atEOF() {
+			return s, p.errf("missing END DO")
+		}
+		if p.isKeyword("END") {
+			break
+		}
+		body, err := p.parseStmt(depth + 1)
+		if err != nil {
+			return s, err
+		}
+		s.body = append(s.body, body)
+	}
+	if err := p.keyword("END"); err != nil {
+		return s, err
+	}
+	if err := p.keyword("DO"); err != nil {
+		return s, err
+	}
+	if len(s.body) == 0 {
+		return s, p.errAt(s.pos, "empty DO body")
+	}
+	return s, p.endOfStmtOrEOF()
+}
+
 // DECOMPOSITION name(n)
 func (p *parser) parseDecomposition() (decl, error) {
-	d := decl{kind: declDecomposition, line: p.line()}
+	d := decl{kind: declDecomposition, pos: p.at()}
 	if err := p.keyword("DECOMPOSITION"); err != nil {
 		return d, err
 	}
@@ -140,7 +248,7 @@ func (p *parser) parseDecomposition() (decl, error) {
 	}
 	n, err := strconv.Atoi(num.text)
 	if err != nil || n <= 0 {
-		return d, fmt.Errorf("fortd: line %d: bad decomposition size %q", num.line, num.text)
+		return d, p.errAt(num.pos, "bad decomposition size %q", num.text)
 	}
 	d.n = n
 	if _, err := p.expect(tokRParen); err != nil {
@@ -151,7 +259,7 @@ func (p *parser) parseDecomposition() (decl, error) {
 
 // DISTRIBUTE name(BLOCK) | DISTRIBUTE name(MAP)
 func (p *parser) parseDistribute() (decl, error) {
-	d := decl{kind: declDistribute, line: p.line()}
+	d := decl{kind: declDistribute, pos: p.at()}
 	if err := p.keyword("DISTRIBUTE"); err != nil {
 		return d, err
 	}
@@ -175,7 +283,7 @@ func (p *parser) parseDistribute() (decl, error) {
 	case "MAP":
 		d.dist = DistMap
 	default:
-		return d, fmt.Errorf("fortd: line %d: unsupported distribution %q (BLOCK, CYCLIC or MAP)", kind.line, kind.text)
+		return d, p.errAt(kind.pos, "unsupported distribution %q (BLOCK, CYCLIC or MAP)", kind.text)
 	}
 	if _, err := p.expect(tokRParen); err != nil {
 		return d, err
@@ -190,7 +298,7 @@ func (p *parser) parseReal() ([]decl, error) {
 	}
 	var out []decl
 	for {
-		d := decl{kind: declReal, line: p.line(), width: 1}
+		d := decl{kind: declReal, pos: p.at(), width: 1}
 		name, err := p.expect(tokIdent)
 		if err != nil {
 			return nil, err
@@ -212,7 +320,7 @@ func (p *parser) parseReal() ([]decl, error) {
 			}
 			width, err := strconv.Atoi(w.text)
 			if err != nil || width <= 0 {
-				return nil, fmt.Errorf("fortd: line %d: bad width %q", w.line, w.text)
+				return nil, p.errAt(w.pos, "bad width %q", w.text)
 			}
 			d.width = width
 		}
@@ -230,7 +338,7 @@ func (p *parser) parseReal() ([]decl, error) {
 
 // INDIRECTION name(dec) CSR | INDIRECTION name(dec) WIDTH k
 func (p *parser) parseIndirection() (decl, error) {
-	d := decl{kind: declIndirection, line: p.line(), width: 1}
+	d := decl{kind: declIndirection, pos: p.at(), width: 1}
 	if err := p.keyword("INDIRECTION"); err != nil {
 		return d, err
 	}
@@ -264,18 +372,18 @@ func (p *parser) parseIndirection() (decl, error) {
 		}
 		width, err := strconv.Atoi(w.text)
 		if err != nil || width <= 0 {
-			return d, fmt.Errorf("fortd: line %d: bad width %q", w.line, w.text)
+			return d, p.errAt(w.pos, "bad width %q", w.text)
 		}
 		d.width = width
 	default:
-		return d, fmt.Errorf("fortd: line %d: indirection form must be CSR or WIDTH, found %q", form.line, form.text)
+		return d, p.errAt(form.pos, "indirection form must be CSR or WIDTH, found %q", form.text)
 	}
 	return d, p.endOfStmt()
 }
 
 // FORALL var IN iter ...
-func (p *parser) parseForall() (forall, error) {
-	f := forall{line: p.line()}
+func (p *parser) parseForall() (*forall, error) {
+	f := &forall{pos: p.at()}
 	if err := p.keyword("FORALL"); err != nil {
 		return f, err
 	}
@@ -321,7 +429,7 @@ func (p *parser) parseForall() (forall, error) {
 			return f, err
 		}
 		if ov.text != f.outerVar {
-			return f, fmt.Errorf("fortd: line %d: inner loop must range over %s(%s)", ov.line, f.innerInd, f.outerVar)
+			return f, p.errAt(ov.pos, "inner loop must range over %s(%s)", f.innerInd, f.outerVar)
 		}
 		if _, err := p.expect(tokRParen); err != nil {
 			return f, err
@@ -334,7 +442,7 @@ func (p *parser) parseForall() (forall, error) {
 			if p.isKeyword("END") {
 				break
 			}
-			st, err := p.parseReduceSum(&f)
+			st, err := p.parseReduceSum(f)
 			if err != nil {
 				return f, err
 			}
@@ -348,7 +456,7 @@ func (p *parser) parseForall() (forall, error) {
 			return f, err
 		}
 		if len(f.reduces) == 0 {
-			return f, fmt.Errorf("fortd: line %d: empty FORALL body", f.line)
+			return f, p.errAt(f.pos, "empty FORALL body")
 		}
 		return f, p.endOfStmtOrEOF()
 	}
@@ -368,7 +476,7 @@ func (p *parser) parseForall() (forall, error) {
 	}
 	if strings.EqualFold(op.text, "SUM") {
 		f.isPair = true
-		st, err := p.parseReduceAfterOp(&f)
+		st, err := p.parseReduceAfterOp(f)
 		if err != nil {
 			return f, err
 		}
@@ -378,7 +486,7 @@ func (p *parser) parseForall() (forall, error) {
 			if p.isKeyword("END") {
 				break
 			}
-			st, err := p.parseReduceSum(&f)
+			st, err := p.parseReduceSum(f)
 			if err != nil {
 				return f, err
 			}
@@ -390,7 +498,7 @@ func (p *parser) parseForall() (forall, error) {
 		return f, p.endOfStmtOrEOF()
 	}
 	if !strings.EqualFold(op.text, "APPEND") {
-		return f, fmt.Errorf("fortd: line %d: top-level REDUCE must be SUM or APPEND, found %q", op.line, op.text)
+		return f, p.errAt(op.pos, "top-level REDUCE must be SUM or APPEND, found %q", op.text)
 	}
 	f.isAppend = true
 	if _, err := p.expect(tokComma); err != nil {
@@ -483,7 +591,7 @@ func (p *parser) parseReduceSum(f *forall) (reduceStmt, error) {
 // parseReduceAfterOp parses ", target, expr)" after REDUCE(SUM has been
 // consumed.
 func (p *parser) parseReduceAfterOp(f *forall) (reduceStmt, error) {
-	st := reduceStmt{line: p.line()}
+	st := reduceStmt{pos: p.at()}
 	if _, err := p.expect(tokComma); err != nil {
 		return st, err
 	}
@@ -522,7 +630,7 @@ func (p *parser) parseRef(f *forall) (refExpr, error) {
 	if err != nil {
 		return r, err
 	}
-	r.sub.line = first.line
+	r.sub.pos = first.pos
 	if p.peek().kind == tokLParen {
 		// ind(var)
 		p.next()
@@ -606,7 +714,7 @@ func (p *parser) parseFactor(f *forall) (expr, error) {
 		p.next()
 		v, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return nil, fmt.Errorf("fortd: line %d: bad number %q", t.line, t.text)
+			return nil, p.errAt(t.pos, "bad number %q", t.text)
 		}
 		return &numExpr{v: v}, nil
 	case tokMinus:

@@ -199,6 +199,11 @@ func (ia *IndArray) SetFlat(vals []int32) {
 	ia.version++
 }
 
+// Touch records a modification without replacing the contents: the host
+// mutated the backing slices in place (an ADAPT site). Generated inspectors
+// treat it exactly like SetCSR/SetFlat and redo their preprocessing.
+func (ia *IndArray) Touch() { ia.version++ }
+
 // CSR returns the current CSR contents (do not modify).
 func (ia *IndArray) CSR() (ptr, vals []int32) { return ia.ptr, ia.vals }
 

@@ -3,6 +3,7 @@ package loopir
 import (
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/hashtab"
 	"repro/internal/schedule"
 )
@@ -42,6 +43,12 @@ type PairLoop struct {
 	dataDistSeen int64
 	iterDistSeen int64
 	inspections  int
+
+	// Program-level optimization state, set by the fortd -O lowering (see
+	// SumLoop for the field semantics).
+	shared  *SharedSched
+	ma, mb  int
+	hoisted bool
 }
 
 // NewPairLoop compiles the two-indirection reduction loop. ia and ib must
@@ -68,13 +75,53 @@ func (pr *Program) NewPairLoop(ia, ib *IndArray, x, f *RealArray, flopsPerIter i
 	}
 }
 
-// Inspections returns how many times the inspector actually ran.
-func (l *PairLoop) Inspections() int { return l.inspections }
+// Inspections returns how many times the inspector actually ran. A loop
+// sharing a group schedule reports the group's count.
+func (l *PairLoop) Inspections() int {
+	if l.shared != nil {
+		return l.shared.inspections
+	}
+	return l.inspections
+}
 
 // Inspect runs the inspector if any recorded version is stale.
 func (l *PairLoop) Inspect() { l.maybeInspect() }
 
+// Share points the loop at a group schedule covering its data
+// decomposition; both indirection arrays join the group. Only legal for
+// loops the reuse analysis proved to have identical indirection usage.
+func (l *PairLoop) Share(g *SharedSched) {
+	if g.dec != l.x.dec {
+		panic("loopir: PairLoop shared schedule must cover the data decomposition")
+	}
+	l.shared = g
+	l.ma = g.Add(l.ia)
+	l.mb = g.Add(l.ib)
+}
+
+// SetHoisted records that the inspector was hoisted out of the enclosing
+// time loop.
+func (l *PairLoop) SetHoisted(b bool) { l.hoisted = b }
+
+// chargeGuard models the per-execution guard bookkeeping (see
+// SumLoop.chargeGuard).
+func (l *PairLoop) chargeGuard(p *comm.Proc) {
+	if l.hoisted {
+		p.ComputeMem(l.ia.dec.NLocal())
+	} else {
+		p.ComputeMem(2 * l.ia.dec.NLocal())
+	}
+}
+
 func (l *PairLoop) maybeInspect() {
+	if l.shared != nil {
+		l.shared.Inspect()
+		l.ht = l.shared.ht
+		l.la = l.shared.Loc(l.ma)
+		l.lb = l.shared.Loc(l.mb)
+		l.sched = l.shared.sched
+		return
+	}
 	dataV := l.x.dec.version
 	iterV := l.ia.dec.version
 	if l.ht != nil && l.iaSeen == l.ia.version && l.ibSeen == l.ib.version &&
@@ -111,7 +158,7 @@ func (l *PairLoop) Execute() {
 	w := l.x.width
 	nLocal := l.ht.NLocal()
 	nBuf := nLocal + l.ht.NGhosts()
-	p.ComputeMem(2 * l.ia.dec.NLocal())
+	l.chargeGuard(p)
 
 	xb := make([]float64, nBuf*w)
 	copy(xb, l.x.data)

@@ -1,0 +1,262 @@
+package loopir
+
+import (
+	"repro/internal/hashtab"
+	"repro/internal/schedule"
+)
+
+// SharedSched is one communication schedule shared by several compiled
+// loops — the target of the program-level schedule-reuse analysis (paper
+// §4/§5.3). The fortd optimizer groups FORALLs with identical indirection
+// usage over one data decomposition and points them all at one SharedSched,
+// so the inspector (hash + schedule build) runs once per adapt cycle
+// instead of once per loop.
+//
+// Members are the distinct indirection arrays the group hashes; each gets
+// its own stamp in one hash table, and the group schedule is built merged
+// over all stamps. Because the optimizer only groups loops with *identical*
+// usage, the merged element set equals every member loop's own set, so
+// executing a loop against the group schedule moves exactly the bytes the
+// per-loop schedule would — results stay bit-identical to unshared
+// lowering.
+type SharedSched struct {
+	prog *Program
+	// dec is the data decomposition the members' values index (for pair
+	// loops this is the data decomposition, not the iteration one).
+	dec     *Decomposition
+	members []*IndArray
+	seen    []int64 // recorded member versions (§5.3 modification records)
+
+	ht          *hashtab.Table
+	stamps      []hashtab.Stamp
+	locs        [][]int32
+	sched       *schedule.Schedule
+	distSeen    int64
+	inspections int
+}
+
+// NewSharedSched creates an empty schedule group over the data
+// decomposition dec.
+func (pr *Program) NewSharedSched(dec *Decomposition) *SharedSched {
+	return &SharedSched{prog: pr, dec: dec, distSeen: -1}
+}
+
+// Add registers an indirection array with the group and returns its member
+// index. Adding the same array again returns the existing index (loops that
+// use the same array share one stamp and one localized-index slice).
+func (g *SharedSched) Add(ia *IndArray) int {
+	for m, have := range g.members {
+		if have == ia {
+			return m
+		}
+	}
+	g.members = append(g.members, ia)
+	g.seen = append(g.seen, -1)
+	g.stamps = append(g.stamps, 0)
+	g.locs = append(g.locs, nil)
+	g.ht = nil // membership changed: force a full build on next Inspect
+	return len(g.members) - 1
+}
+
+// Inspections returns how many times the group inspector actually ran.
+func (g *SharedSched) Inspections() int { return g.inspections }
+
+// Loc returns the localized indices of member m (valid after Inspect).
+func (g *SharedSched) Loc(m int) []int32 { return g.locs[m] }
+
+// Inspect runs the group inspector if any recorded version is stale: one
+// hash table, one stamp per member, one merged schedule build — the shared
+// preprocessing all member loops then execute against. Collective (all
+// ranks reach the same staleness verdict because versions advance in
+// collective calls).
+func (g *SharedSched) Inspect() {
+	stale := g.ht == nil || g.distSeen != g.dec.version
+	for m, ia := range g.members {
+		if g.seen[m] != ia.version {
+			stale = true
+		}
+	}
+	if !stale {
+		return
+	}
+	if g.ht == nil || g.distSeen != g.dec.version {
+		// Redistribution (or first run) invalidates everything.
+		g.ht = g.dec.dist.NewHashTable()
+		for m := range g.members {
+			g.stamps[m] = g.ht.NewStamp()
+		}
+	} else {
+		// Some member adapted: clear the stamps, reuse cached translations.
+		for _, s := range g.stamps {
+			g.ht.ClearStamp(s)
+		}
+	}
+	total := 0
+	var include hashtab.Stamp
+	for m, ia := range g.members {
+		g.locs[m] = g.ht.HashInto(g.locs[m], ia.vals, g.stamps[m])
+		include |= g.stamps[m]
+		total += len(ia.vals)
+	}
+	g.sched = schedule.BuildInto(g.sched, g.prog.P, g.ht, include, 0)
+	g.prog.P.ComputeMem(total)
+	g.distSeen = g.dec.version
+	for m, ia := range g.members {
+		g.seen[m] = ia.version
+	}
+	g.inspections++
+}
+
+// ExecuteFusedSum executes a run of SumLoops that share one SharedSched as
+// a single communication phase: one fused gather of the distinct read
+// arrays, the loop bodies in program order, one fused scatter-add of the
+// per-loop contributions, then the per-loop accumulations in program order.
+// The communication-fusion legality analysis guarantees no loop reads an
+// array an earlier run member reduces into, so values (and float addition
+// order) are bit-identical to executing the loops back to back — only the
+// message count drops. Collective.
+func ExecuteFusedSum(loops []*SumLoop) {
+	if len(loops) == 1 {
+		loops[0].Execute()
+		return
+	}
+	g := loops[0].shared
+	for _, l := range loops {
+		if l.shared == nil || l.shared != g {
+			panic("loopir: fused sum loops must share one SharedSched")
+		}
+		l.maybeInspect()
+	}
+	p := g.prog.P
+	nLocal := g.ht.NLocal()
+	nBuf := nLocal + g.ht.NGhosts()
+
+	// Fused gather: one ghost buffer per distinct read array.
+	var xs []*RealArray
+	var xbs [][]float64
+	var xw []int
+	xbFor := make([]int, len(loops))
+	for li, l := range loops {
+		found := -1
+		for i, x := range xs {
+			if x == l.x {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			xb := make([]float64, nBuf*l.x.width)
+			copy(xb, l.x.data)
+			xs = append(xs, l.x)
+			xbs = append(xbs, xb)
+			xw = append(xw, l.x.width)
+			found = len(xs) - 1
+		}
+		xbFor[li] = found
+	}
+	schedule.GatherWMulti(p, g.sched, xbs, xw)
+
+	// Loop bodies in program order, each into its own contribution buffer.
+	fbs := make([][]float64, len(loops))
+	fw := make([]int, len(loops))
+	for li, l := range loops {
+		w := l.x.width
+		l.chargeGuard(p, nLocal)
+		xb := xbs[xbFor[li]]
+		fb := make([]float64, nBuf*w)
+		ptr := l.ind.ptr
+		pairs := 0
+		for i := 0; i < l.ind.dec.NLocal(); i++ {
+			xi := xb[i*w : (i+1)*w]
+			fi := fb[i*w : (i+1)*w]
+			for k := ptr[i]; k < ptr[i+1]; k++ {
+				j := int(l.loc[k])
+				l.body(xi, xb[j*w:(j+1)*w], fi, fb[j*w:(j+1)*w])
+				pairs++
+			}
+		}
+		p.ComputeFlops(l.flopsPerPair * pairs)
+		fbs[li] = fb
+		fw[li] = w
+	}
+
+	// Fused scatter-add, then the sequential accumulations.
+	schedule.ScatterWMulti(p, g.sched, fbs, fw, schedule.OpAdd)
+	for li, l := range loops {
+		w := l.x.width
+		for i := 0; i < l.ind.dec.NLocal()*w; i++ {
+			l.f.data[i] += fbs[li][i]
+		}
+		p.ComputeMem(l.ind.dec.NLocal() * w)
+	}
+}
+
+// ExecuteFusedPair is ExecuteFusedSum for PairLoops: a run of two-
+// indirection reduction loops sharing one SharedSched executes with one
+// fused gather and one fused scatter-add. Collective.
+func ExecuteFusedPair(loops []*PairLoop) {
+	if len(loops) == 1 {
+		loops[0].Execute()
+		return
+	}
+	g := loops[0].shared
+	for _, l := range loops {
+		if l.shared == nil || l.shared != g {
+			panic("loopir: fused pair loops must share one SharedSched")
+		}
+		l.maybeInspect()
+	}
+	p := g.prog.P
+	nLocal := g.ht.NLocal()
+	nBuf := nLocal + g.ht.NGhosts()
+
+	var xs []*RealArray
+	var xbs [][]float64
+	var xw []int
+	xbFor := make([]int, len(loops))
+	for li, l := range loops {
+		found := -1
+		for i, x := range xs {
+			if x == l.x {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			xb := make([]float64, nBuf*l.x.width)
+			copy(xb, l.x.data)
+			xs = append(xs, l.x)
+			xbs = append(xbs, xb)
+			xw = append(xw, l.x.width)
+			found = len(xs) - 1
+		}
+		xbFor[li] = found
+	}
+	schedule.GatherWMulti(p, g.sched, xbs, xw)
+
+	fbs := make([][]float64, len(loops))
+	fw := make([]int, len(loops))
+	for li, l := range loops {
+		w := l.x.width
+		l.chargeGuard(p)
+		xb := xbs[xbFor[li]]
+		fb := make([]float64, nBuf*w)
+		for k := 0; k < l.ia.dec.NLocal(); k++ {
+			i := int(l.la[k])
+			j := int(l.lb[k])
+			l.body(k, xb[i*w:(i+1)*w], xb[j*w:(j+1)*w], fb[i*w:(i+1)*w], fb[j*w:(j+1)*w])
+		}
+		p.ComputeFlops(l.flopsPerIter * l.ia.dec.NLocal())
+		fbs[li] = fb
+		fw[li] = w
+	}
+
+	schedule.ScatterWMulti(p, g.sched, fbs, fw, schedule.OpAdd)
+	for li, l := range loops {
+		w := l.x.width
+		for i := 0; i < l.x.dec.NLocal()*w; i++ {
+			l.f.data[i] += fbs[li][i]
+		}
+		p.ComputeMem(l.x.dec.NLocal() * w)
+	}
+}

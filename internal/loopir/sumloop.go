@@ -3,6 +3,7 @@ package loopir
 import (
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/hashtab"
 	"repro/internal/schedule"
 )
@@ -39,6 +40,15 @@ type SumLoop struct {
 	indSeen     int64
 	distSeen    int64
 	inspections int
+
+	// Program-level optimization state, set by the fortd -O lowering: a
+	// schedule group shared with other loops of identical indirection usage,
+	// and a flag recording that the inspector was hoisted out of the
+	// enclosing time loop (the guard then only re-checks, never rebuilds,
+	// inside the loop, so its modeled bookkeeping halves).
+	shared  *SharedSched
+	member  int
+	hoisted bool
 }
 
 // NewSumLoop compiles a FORALL/REDUCE(SUM) loop. ind must be a CSR
@@ -63,11 +73,53 @@ func (pr *Program) NewSumLoop(ind *IndArray, x, f *RealArray, flopsPerPair int, 
 
 // Inspections returns how many times the inspector actually ran — tests use
 // it to verify the generated code reuses preprocessing when nothing changed.
-func (l *SumLoop) Inspections() int { return l.inspections }
+// A loop sharing a group schedule reports the group's count.
+func (l *SumLoop) Inspections() int {
+	if l.shared != nil {
+		return l.shared.inspections
+	}
+	return l.inspections
+}
+
+// Share points the loop at a group schedule: its indirection array joins
+// the group, and all preprocessing is delegated to the group inspector.
+// Only legal for loops the reuse analysis proved to have identical
+// indirection usage with the other members.
+func (l *SumLoop) Share(g *SharedSched) {
+	if g.dec != l.ind.dec {
+		panic("loopir: SumLoop shared schedule must cover the loop's decomposition")
+	}
+	l.shared = g
+	l.member = g.Add(l.ind)
+}
+
+// SetHoisted records that the inspector was hoisted out of the enclosing
+// time loop (the hoist analysis proved the indirection array unmodified
+// across it). The caller is responsible for invoking Inspect at the hoist
+// point.
+func (l *SumLoop) SetHoisted(b bool) { l.hoisted = b }
+
+// chargeGuard models the per-execution guard and buffer bookkeeping of the
+// generated code. A hoisted inspector needs no version re-checks inside the
+// time loop, halving the bookkeeping.
+func (l *SumLoop) chargeGuard(p *comm.Proc, nLocal int) {
+	if l.hoisted {
+		p.ComputeMem(nLocal)
+	} else {
+		p.ComputeMem(2 * nLocal)
+	}
+}
 
 // maybeInspect is the generated guard: compare modification records, rerun
 // only the necessary part of the inspector.
 func (l *SumLoop) maybeInspect() {
+	if l.shared != nil {
+		l.shared.Inspect()
+		l.ht = l.shared.ht
+		l.loc = l.shared.Loc(l.member)
+		l.sched = l.shared.sched
+		return
+	}
 	d := l.ind.dec
 	switch {
 	case l.distSeen != d.version || l.ht == nil:
@@ -113,7 +165,7 @@ func (l *SumLoop) Execute() {
 
 	// Generated-code bookkeeping (guard evaluation, bounds arrays, buffer
 	// management): the small constant-factor overhead visible in Table 6.
-	p.ComputeMem(2 * nLocal)
+	l.chargeGuard(p, nLocal)
 
 	xb := make([]float64, nBuf*w)
 	copy(xb, l.x.data)
