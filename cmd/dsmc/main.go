@@ -63,6 +63,7 @@ func main() {
 	resume := flag.String("resume", "", `resume from a checkpoint directory, or "latest" under -ckpt-dir`)
 	crashStep := flag.Int("crash-step", 0, "inject a rank panic at step N (crash-recovery demo)")
 	crashRank := flag.Int("crash-rank", 0, "rank that crashes at -crash-step")
+	measure := flag.Bool("measure", false, "run in measured wall-clock mode (real phase timers alongside virtual time)")
 	flag.Parse()
 
 	cfg := dsmc.Default2D(*nx)
@@ -91,9 +92,15 @@ func main() {
 	}
 
 	results := make([]*dsmc.ProcResult, *procs)
-	rep := comm.Run(*procs, costmodel.IPSC860(), func(p *comm.Proc) {
+	body := func(p *comm.Proc) {
 		results[p.Rank()] = dsmc.Run(p, cfg)
-	})
+	}
+	var rep *comm.Report
+	if *measure {
+		rep = comm.RunMeasured(*procs, costmodel.IPSC860(), body)
+	} else {
+		rep = comm.Run(*procs, costmodel.IPSC860(), body)
+	}
 
 	fmt.Printf("mini-DSMC: %dx%dx%d cells, %d molecules, %d steps, mover=%s part=%s remap=%d\n",
 		cfg.NX, cfg.NY, cfg.NZ, cfg.NMols, cfg.Steps, cfg.Mover, cfg.Partitioner, cfg.RemapEvery)
@@ -104,6 +111,10 @@ func main() {
 	fmt.Printf("  load balance index  : %10.3f\n", rep.LoadBalance())
 	fmt.Printf("  messages / volume   : %d msgs, %.2f MB\n", rep.TotalMsgsSent(), float64(rep.TotalBytesSent())/1e6)
 	fmt.Printf("  state checksum      : %.9f\n", results[0].Checksum)
+	if *measure {
+		fmt.Printf("  measured wall       : %10.3f s (max over ranks, %d workers)\n", rep.MaxMeasuredWall(), rep.Workers)
+		fmt.Printf("  measured comm wait  : %10.3f s (mean over ranks)\n", rep.MeanMeasuredCommWall())
+	}
 
 	phases := map[string]float64{}
 	for _, r := range results {
@@ -118,9 +129,16 @@ func main() {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	fmt.Println("  phase breakdown (max over ranks, virtual s):")
-	for _, k := range keys {
-		fmt.Printf("    %-10s %10.3f\n", k, phases[k])
+	if *measure {
+		fmt.Println("  phase breakdown (max over ranks: virtual s | measured s):")
+		for _, k := range keys {
+			fmt.Printf("    %-10s %10.3f  %10.4f\n", k, phases[k], rep.MeasuredPhaseMax(k))
+		}
+	} else {
+		fmt.Println("  phase breakdown (max over ranks, virtual s):")
+		for _, k := range keys {
+			fmt.Printf("    %-10s %10.3f\n", k, phases[k])
+		}
 	}
 
 	if *doTrace {

@@ -35,8 +35,9 @@ func main() {
 	inspector := flag.Bool("inspector", false, "run only the wall-clock adaptive-inspector benchmark table")
 	clusterT := flag.Bool("cluster", false, "run only the chaosd cluster-service throughput table")
 	loopir := flag.Bool("loopir", false, "run only the fortd -O0 vs -O schedule-reuse table")
+	wallclock := flag.Bool("wallclock", false, "run only the measured wall-clock parallel-speedup table (scale-sensitive)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-loopir] [-markdown | -json]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-loopir] [-wallclock] [-markdown | -json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,19 +56,22 @@ func main() {
 	if *quick {
 		sc = bench.Quick()
 	}
-	if *datamotion || *inspector || *clusterT || *loopir {
+	if *datamotion || *inspector || *clusterT || *loopir || *wallclock {
 		picked := 0
-		for _, b := range []bool{*datamotion, *inspector, *clusterT, *loopir} {
+		for _, b := range []bool{*datamotion, *inspector, *clusterT, *loopir, *wallclock} {
 			if b {
 				picked++
 			}
 		}
 		if *table != 0 || picked > 1 {
-			fmt.Fprintln(os.Stderr, "tables: -datamotion, -inspector, -cluster, -loopir and -table are mutually exclusive")
+			fmt.Fprintln(os.Stderr, "tables: -datamotion, -inspector, -cluster, -loopir, -wallclock and -table are mutually exclusive")
 			flag.Usage()
 			os.Exit(2)
 		}
 		t := bench.DataMotion()
+		if *wallclock {
+			t = bench.Wallclock(sc)
+		}
 		if *inspector {
 			t = bench.Inspector()
 		}

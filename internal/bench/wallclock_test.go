@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// microWallScale is a tiny scale so the wallclock table builds in
+// milliseconds under `go test`.
+func microWallScale() Scale {
+	sc := Quick()
+	sc.WallProcs = []int{1, 2}
+	sc.WallReps = 1
+	sc.WallCharmmAtoms = 300
+	sc.WallCharmmSteps = 2
+	sc.WallDsmcEdge = 8
+	sc.WallDsmcMols = 300
+	sc.WallDsmcSteps = 3
+	sc.WallKernelAtoms = 240
+	sc.WallKernelIters = 2
+	return sc
+}
+
+func TestWallclockTableShape(t *testing.T) {
+	sc := microWallScale()
+	tb := Wallclock(sc)
+	wantRows := 3 * len(sc.WallProcs) // charmm, dsmc, kernel x proc counts
+	if len(tb.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(tb.Rows), wantRows)
+	}
+	col := map[string]int{}
+	for i, h := range tb.Columns {
+		col[h] = i
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tb.Columns))
+		}
+		meas, err := strconv.ParseFloat(row[col["Measured (s)"]], 64)
+		if err != nil || meas <= 0 {
+			t.Errorf("row %v: bad measured time %q", row[0:2], row[col["Measured (s)"]])
+		}
+		speedup, err := strconv.ParseFloat(row[col["Speedup"]], 64)
+		if err != nil || speedup <= 0 {
+			t.Errorf("row %v: bad speedup %q", row[0:2], row[col["Speedup"]])
+		}
+		modeled, err := strconv.ParseFloat(row[col["Modeled (vsec)"]], 64)
+		if err != nil || modeled <= 0 {
+			t.Errorf("row %v: bad modeled time %q", row[0:2], row[col["Modeled (vsec)"]])
+		}
+		if w, err := strconv.Atoi(row[col["Workers"]]); err != nil || w < 1 {
+			t.Errorf("row %v: bad workers %q", row[0:2], row[col["Workers"]])
+		}
+		if ph, err := strconv.ParseFloat(row[col["Phase (s)"]], 64); err != nil || ph < 0 {
+			t.Errorf("row %v: bad phase time %q", row[0:2], row[col["Phase (s)"]])
+		}
+	}
+	// Baseline rows (first proc count of each scenario) have speedup 1.00.
+	for i := 0; i < len(tb.Rows); i += len(sc.WallProcs) {
+		if got := tb.Rows[i][col["Speedup"]]; got != "1.00" {
+			t.Errorf("baseline row %d speedup %q, want 1.00", i, got)
+		}
+	}
+	// JSON emission keeps one record per row.
+	if recs := tb.JSONRecords("micro"); len(recs) != wantRows {
+		t.Errorf("%d JSON records, want %d", len(recs), wantRows)
+	}
+}

@@ -60,6 +60,19 @@ type Proc struct {
 	// single-goroutine; the arena carries the lock because releases arrive
 	// from other goroutines.
 	arena byteArena
+
+	// Measured-mode state, set by RunMeasured. wall is nil on modeled runs,
+	// which keeps every measured branch a single pointer test on the hot
+	// path. slot is non-nil only when ranks are multiplexed onto fewer
+	// worker slots than ranks; blocking receives yield it (see slotSched).
+	wall Clock
+	slot *rankSlot
+	meas Measured
+	// lastSample/sampleValid amortize wall-clock reads across consecutive
+	// receives: the end reading of one receive serves as the start reading
+	// of the next unless compute or a send ran in between.
+	lastSample  float64
+	sampleValid bool
 }
 
 // NewProc constructs a processor endpoint. Most code should use Run instead.
@@ -99,6 +112,74 @@ func (p *Proc) RestoreClock(c float64) {
 	p.clock = c
 }
 
+// MeasuredMode reports whether the run records wall-clock measurements
+// (true only under RunMeasured).
+func (p *Proc) MeasuredMode() bool { return p.wall != nil }
+
+// Measured returns a copy of the rank's wall-clock accounting so far (the
+// Phases map is shared). Zero-valued on modeled runs.
+func (p *Proc) Measured() Measured { return p.meas }
+
+// sampleWall takes a fresh (counted) wall-clock reading. Callers must have
+// checked p.wall != nil.
+func (p *Proc) sampleWall() float64 {
+	p.meas.ClockSamples++
+	return p.wall.Now()
+}
+
+// WallNow returns real seconds since the run epoch, or 0 on modeled runs.
+// Interval timers (core.PhaseTimer) use it together with ChargePhaseWall.
+func (p *Proc) WallNow() float64 {
+	if p.wall == nil {
+		return 0
+	}
+	return p.sampleWall()
+}
+
+// ChargePhaseWall adds dt measured seconds to the named phase region. It is
+// a no-op on modeled runs, so instrumentation can run unconditionally.
+func (p *Proc) ChargePhaseWall(name string, dt float64) {
+	if p.wall == nil || dt == 0 {
+		return
+	}
+	if p.meas.Phases == nil {
+		p.meas.Phases = make(map[string]float64)
+	}
+	p.meas.Phases[name] += dt
+}
+
+// PhaseRegion is an open measured region returned by Proc.Phase; End closes
+// it. The zero value (from a modeled run) is an inert no-op, and the type is
+// a plain value so opening and closing a region allocates nothing.
+type PhaseRegion struct {
+	p    *Proc
+	name string
+	t0   float64
+}
+
+// Phase opens a named wall-clock region:
+//
+//	reg := p.Phase("inspector")
+//	... build schedules ...
+//	reg.End()
+//
+// Regions with the same name accumulate. On modeled runs Phase returns an
+// inert region and reads no clock.
+func (p *Proc) Phase(name string) PhaseRegion {
+	if p.wall == nil {
+		return PhaseRegion{}
+	}
+	return PhaseRegion{p: p, name: name, t0: p.sampleWall()}
+}
+
+// End closes the region, charging its measured duration.
+func (r PhaseRegion) End() {
+	if r.p == nil {
+		return
+	}
+	r.p.ChargePhaseWall(r.name, r.p.sampleWall()-r.t0)
+}
+
 // Compute advances the virtual clock by cost seconds of application work.
 func (p *Proc) Compute(cost float64) {
 	if cost < 0 {
@@ -106,6 +187,8 @@ func (p *Proc) Compute(cost float64) {
 	}
 	p.clock += cost
 	p.stats.ComputeTime += cost
+	// Real work happened: the cached receive-path wall sample is stale.
+	p.sampleValid = false
 }
 
 // ComputeFlops accounts n floating-point operations.
@@ -134,6 +217,7 @@ func (p *Proc) send(to, tag int, data []byte, pool *byteArena) {
 	p.stats.CommTime += p.m.Alpha
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(len(data))
+	p.sampleValid = false // encode/copy time must not count as receive wait
 	p.tr.Send(Message{
 		From:   p.rank,
 		To:     to,
@@ -145,12 +229,35 @@ func (p *Proc) send(to, tag int, data []byte, pool *byteArena) {
 }
 
 // recvMsg blocks until a message from `from` with the given tag is
-// available. Waiting time (virtual) is accounted as communication time.
+// available. Waiting time (virtual) is accounted as communication time; in
+// measured mode the real blocking window is additionally charged to
+// Measured.CommWall with amortized clock sampling (consecutive receives
+// share one reading), and a multiplexed rank yields its worker slot for
+// the duration of the wait so runnable peers can use it.
 func (p *Proc) recvMsg(from, tag int) Message {
 	if from == p.rank {
 		panic("comm: recv from self")
 	}
+	var t0 float64
+	if p.wall != nil {
+		if p.sampleValid {
+			t0 = p.lastSample
+		} else {
+			t0 = p.sampleWall()
+		}
+		if p.slot != nil {
+			p.slot.release()
+		}
+	}
 	m := p.tr.Recv(p.rank, from, tag)
+	if p.wall != nil {
+		if p.slot != nil {
+			p.slot.acquire()
+		}
+		t1 := p.sampleWall()
+		p.meas.CommWall += t1 - t0
+		p.lastSample, p.sampleValid = t1, true
+	}
 	if m.Arrive > p.clock {
 		p.stats.CommTime += m.Arrive - p.clock
 		p.clock = m.Arrive

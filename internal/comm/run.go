@@ -2,6 +2,8 @@ package comm
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -9,12 +11,19 @@ import (
 )
 
 // Report summarizes one SPMD run: per-rank final virtual clocks and
-// statistics, plus the real wall time the simulation took.
+// statistics, plus the real wall time the simulation took. Measured runs
+// (RunMeasured) additionally carry per-rank wall-clock accounting.
 type Report struct {
 	N      int
 	Clocks []float64
 	Stats  []Stats
 	Wall   time.Duration
+	// Measured holds per-rank wall-clock accounting when the run was
+	// executed by RunMeasured; nil for modeled runs.
+	Measured []Measured
+	// Workers is the number of worker slots measured ranks were multiplexed
+	// onto (0 for modeled runs).
+	Workers int
 }
 
 // MaxClock returns the maximum final virtual clock, i.e. the modeled
@@ -81,6 +90,43 @@ func (r *Report) TotalMsgsSent() int64 {
 	return s
 }
 
+// MaxMeasuredWall returns the longest per-rank measured body duration in
+// real seconds — the measured analogue of MaxClock. 0 for modeled runs.
+func (r *Report) MaxMeasuredWall() float64 {
+	max := 0.0
+	for _, m := range r.Measured {
+		if m.Wall > max {
+			max = m.Wall
+		}
+	}
+	return max
+}
+
+// MeanMeasuredCommWall returns measured receive-wait time averaged over
+// ranks, in real seconds. 0 for modeled runs.
+func (r *Report) MeanMeasuredCommWall() float64 {
+	if len(r.Measured) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, m := range r.Measured {
+		s += m.CommWall
+	}
+	return s / float64(len(r.Measured))
+}
+
+// MeasuredPhaseMax returns the maximum over ranks of the named measured
+// phase region, in real seconds. 0 for modeled runs or unknown phases.
+func (r *Report) MeasuredPhaseMax(name string) float64 {
+	max := 0.0
+	for _, m := range r.Measured {
+		if v := m.Phases[name]; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
 // Run executes body on n simulated processors over the in-memory transport
 // and returns the per-rank report. A panic on any rank is re-raised on the
 // caller with the rank attached.
@@ -91,11 +137,75 @@ func Run(n int, m *costmodel.Machine, body func(p *Proc)) *Report {
 // RunTransport is Run over a caller-supplied transport (e.g. TCP). The
 // transport is closed before returning.
 func RunTransport(n int, m *costmodel.Machine, tr Transport, body func(p *Proc)) *Report {
+	return runSPMD(n, m, tr, nil, body)
+}
+
+// MeasureOpts configures RunMeasuredTransport.
+type MeasureOpts struct {
+	// Workers bounds how many ranks execute simultaneously; 0 means
+	// min(n, GOMAXPROCS).
+	Workers int
+	// Clock overrides the wall clock (tests substitute a scripted clock for
+	// deterministic assertions). Nil means a fresh WallClock.
+	Clock Clock
+}
+
+// RunMeasured is Run in measured wall-clock mode: virtual-time accounting
+// is unchanged (Clocks and Stats are bit-identical to Run), but every rank
+// additionally records real phase timers, receive waits, and its total
+// measured duration (Report.Measured). The n virtual ranks execute on a
+// GOMAXPROCS-aware worker pool: with n <= GOMAXPROCS each rank is pinned to
+// its own OS thread; otherwise ranks are multiplexed onto min(n, GOMAXPROCS)
+// worker slots by a barrier-aware scheduler (comm waits yield the slot).
+func RunMeasured(n int, m *costmodel.Machine, body func(p *Proc)) *Report {
+	return RunMeasuredTransport(n, m, NewMemTransport(n), MeasureOpts{}, body)
+}
+
+// RunMeasuredTransport is RunMeasured over a caller-supplied transport and
+// options. The transport is closed before returning.
+func RunMeasuredTransport(n int, m *costmodel.Machine, tr Transport, o MeasureOpts, body func(p *Proc)) *Report {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	clock := o.Clock
+	if clock == nil {
+		clock = NewWallClock()
+	}
+	mc := &measureCfg{clock: clock, workers: workers}
+	if workers < n {
+		mc.sched = newSlotSched(workers)
+	}
+	return runSPMD(n, m, tr, mc, body)
+}
+
+// measureCfg is the measured-mode configuration threaded through runSPMD:
+// nil means a modeled run (the exact historical Run behaviour).
+type measureCfg struct {
+	clock   Clock
+	workers int
+	// sched is non-nil only when ranks outnumber workers and must be
+	// multiplexed; with a dedicated worker per rank no gating is needed.
+	sched *slotSched
+}
+
+// runSPMD is the shared SPMD harness behind Run, RunTransport and
+// RunMeasured: it spawns one goroutine per rank, collects clocks and
+// statistics, poisons the transport when a rank fails so peers blocked in
+// Recv do not deadlock, and re-raises failures on the caller.
+func runSPMD(n int, m *costmodel.Machine, tr Transport, mc *measureCfg, body func(p *Proc)) *Report {
 	if n <= 0 {
 		panic("comm: Run needs at least one processor")
 	}
 	defer tr.Close()
 	rep := &Report{N: n, Clocks: make([]float64, n), Stats: make([]Stats, n)}
+	if mc != nil {
+		rep.Measured = make([]Measured, n)
+		rep.Workers = mc.workers
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	panics := make([]any, n)
@@ -103,8 +213,28 @@ func RunTransport(n int, m *costmodel.Machine, tr Transport, body func(p *Proc))
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			if mc != nil && mc.sched == nil {
+				// One dedicated worker per rank: bind it to an OS thread so
+				// the measured numbers are not polluted by rank migration.
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
 			p := NewProc(rank, n, tr, m)
+			var slot *rankSlot
+			if mc != nil {
+				p.wall = mc.clock
+				if mc.sched != nil {
+					slot = &rankSlot{s: mc.sched}
+					p.slot = slot
+				}
+			}
 			defer func() {
+				// A rank that panicked while holding its worker slot must
+				// give it back or surviving ranks starve (release is a no-op
+				// when the slot was already yielded inside a receive).
+				if slot != nil {
+					slot.release()
+				}
 				// Tell decorating transports the rank is done: a fault
 				// injector holding a reorder frame on one of this rank's
 				// links must put it on the wire now, or a peer still
@@ -115,6 +245,9 @@ func RunTransport(n int, m *costmodel.Machine, tr Transport, body func(p *Proc))
 				}
 				rep.Clocks[rank] = p.clock
 				rep.Stats[rank] = p.stats
+				if mc != nil {
+					rep.Measured[rank] = p.meas
+				}
 				if e := recover(); e != nil {
 					panics[rank] = e
 					// Unblock peers waiting on messages from this rank so a
@@ -124,30 +257,51 @@ func RunTransport(n int, m *costmodel.Machine, tr Transport, body func(p *Proc))
 					}
 				}
 			}()
+			if mc == nil {
+				body(p)
+				return
+			}
+			if slot != nil {
+				slot.acquire()
+			}
+			t0 := p.sampleWall()
 			body(p)
+			p.meas.Wall = p.sampleWall() - t0
 		}(r)
 	}
 	wg.Wait()
 	rep.Wall = time.Since(start)
-	// Re-raise the original failure, preferring a real panic over the
-	// secondary PeerFailure panics it induced on blocked ranks.
-	firstPoison := -1
+	raisePanics(panics)
+	return rep
+}
+
+// raisePanics re-raises rank failures on the caller, preferring real panics
+// over the secondary PeerFailure panics they induce on blocked ranks. Every
+// genuinely panicked rank is reported — a run where several ranks fail
+// (e.g. a collective bug tripping an invariant on each) names them all
+// instead of silently dropping all but the first.
+func raisePanics(panics []any) {
+	var failed, poisoned []string
 	for rank, e := range panics {
 		if e == nil {
 			continue
 		}
 		if _, isPoison := e.(PeerFailure); isPoison {
-			if firstPoison < 0 {
-				firstPoison = rank
-			}
+			poisoned = append(poisoned, fmt.Sprint(rank))
 			continue
 		}
-		panic(fmt.Sprintf("comm: rank %d panicked: %v", rank, e))
+		failed = append(failed, fmt.Sprintf("rank %d panicked: %v", rank, e))
 	}
-	if firstPoison >= 0 {
-		panic(fmt.Sprintf("comm: rank %d aborted by a peer failure", firstPoison))
+	if len(failed) > 0 {
+		panic("comm: " + strings.Join(failed, "; "))
 	}
-	return rep
+	switch len(poisoned) {
+	case 0:
+	case 1:
+		panic(fmt.Sprintf("comm: rank %s aborted by a peer failure", poisoned[0]))
+	default:
+		panic(fmt.Sprintf("comm: ranks %s aborted by a peer failure", strings.Join(poisoned, ", ")))
+	}
 }
 
 // RunRank executes body as a single rank of a multi-process run: the

@@ -1,0 +1,67 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+)
+
+// TestRunAggregatesMultiplePanics: when several ranks fail, the re-raised
+// panic must name every genuinely panicked rank — not just whichever
+// goroutine's deferred recover ran last.
+func TestRunAggregatesMultiplePanics(t *testing.T) {
+	defer func() {
+		e := recover()
+		if e == nil {
+			t.Fatal("rank panics did not propagate")
+		}
+		msg, ok := e.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", e)
+		}
+		for _, want := range []string{"rank 1 panicked: first failure", "rank 3 panicked: second failure"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q does not mention %q", msg, want)
+			}
+		}
+		if strings.Contains(msg, "aborted by a peer failure") {
+			t.Errorf("panic %q reports poisoned ranks despite real failures", msg)
+		}
+	}()
+	Run(4, costmodel.Uniform(1e-6), func(p *Proc) {
+		p.Barrier()
+		switch p.Rank() {
+		case 1:
+			panic("first failure")
+		case 3:
+			panic("second failure")
+		default:
+			// Survivors block on a message that never comes; poison from the
+			// failed ranks unblocks them with PeerFailure, which must not
+			// displace the real panics in the report.
+			p.Recv(1, 9)
+		}
+	})
+}
+
+// TestRunReportsAllPoisonedRanks: with only secondary PeerFailure panics
+// left (the failing rank recovered by the body itself cannot happen — so
+// simulate by panicking with PeerFailure directly), every aborted rank is
+// listed.
+func TestRunReportsAllPoisonedRanks(t *testing.T) {
+	defer func() {
+		e := recover()
+		if e == nil {
+			t.Fatal("poison panics did not propagate")
+		}
+		msg, _ := e.(string)
+		if !strings.Contains(msg, "ranks 0, 1, 2 aborted by a peer failure") {
+			t.Errorf("panic %q does not list all poisoned ranks", msg)
+		}
+	}()
+	Run(3, costmodel.Uniform(1e-6), func(p *Proc) {
+		p.Barrier()
+		panic(PeerFailure{})
+	})
+}

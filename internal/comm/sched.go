@@ -1,0 +1,44 @@
+package comm
+
+// slotSched bounds how many ranks of a measured run execute user code
+// simultaneously: it holds `workers` slots in a buffered channel and every
+// rank must hold a slot to run. The scheduler is barrier-aware through the
+// receive path: a rank entering a blocking transport wait (a plain Recv, or
+// any collective built on receives — barriers included) releases its slot
+// first and reacquires it once the message is in hand, so ranks parked at a
+// barrier or starved for data never pin a worker while a runnable peer
+// waits. This is what lets RunMeasured multiplex N virtual ranks onto
+// min(N, GOMAXPROCS) workers without deadlock.
+type slotSched struct {
+	slots chan struct{}
+}
+
+func newSlotSched(workers int) *slotSched {
+	s := &slotSched{slots: make(chan struct{}, workers)}
+	for i := 0; i < workers; i++ {
+		s.slots <- struct{}{}
+	}
+	return s
+}
+
+// rankSlot is one rank's handle on the scheduler. It is owned by the rank's
+// goroutine; the held flag makes release idempotent, so the run harness can
+// unconditionally release in its cleanup path even when a panic unwound the
+// rank mid-receive (slot already given up).
+type rankSlot struct {
+	s    *slotSched
+	held bool
+}
+
+func (r *rankSlot) acquire() {
+	<-r.s.slots
+	r.held = true
+}
+
+func (r *rankSlot) release() {
+	if !r.held {
+		return
+	}
+	r.held = false
+	r.s.slots <- struct{}{}
+}

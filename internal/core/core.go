@@ -152,10 +152,14 @@ type Span struct {
 // PhaseTimer accumulates per-phase virtual time and communication
 // statistics, for the preprocessing-overhead breakdowns the paper reports
 // (Tables 2 and 6). It also records the raw span list for timeline
-// rendering (internal/trace).
+// rendering (internal/trace). Under comm.RunMeasured each Mark additionally
+// charges the interval's real duration to the same phase name through
+// Proc.ChargePhaseWall, so the modeled and measured breakdowns share keys;
+// on modeled runs the wall side is a no-op.
 type PhaseTimer struct {
 	p         *comm.Proc
 	lastClock float64
+	lastWall  float64
 	lastStats comm.Stats
 	Times     map[string]float64
 	Stats     map[string]comm.Stats
@@ -168,6 +172,7 @@ func NewPhaseTimer(p *comm.Proc) *PhaseTimer {
 	return &PhaseTimer{
 		p:         p,
 		lastClock: p.Clock(),
+		lastWall:  p.WallNow(),
 		lastStats: p.Stats(),
 		Times:     map[string]float64{},
 		Stats:     map[string]comm.Stats{},
@@ -190,11 +195,15 @@ func (t *PhaseTimer) Mark(name string) {
 	t.spans = append(t.spans, Span{Phase: name, Start: t.lastClock, End: now})
 	t.lastClock = now
 	t.lastStats = st
+	w := t.p.WallNow()
+	t.p.ChargePhaseWall(name, w-t.lastWall)
+	t.lastWall = w
 }
 
 // Skip discards the time since the previous Mark without charging it.
 func (t *PhaseTimer) Skip() {
 	t.lastClock = t.p.Clock()
+	t.lastWall = t.p.WallNow()
 	t.lastStats = t.p.Stats()
 }
 

@@ -1,0 +1,82 @@
+package dsmc
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+)
+
+// TestMeasuredModeParity: the DSMC driver under comm.RunMeasured must keep
+// every virtual-time observable bit-identical to comm.Run while adding real
+// phase timers under the same keys.
+func TestMeasuredModeParity(t *testing.T) {
+	cfg := smallConfig()
+	m := costmodel.IPSC860()
+	for _, nprocs := range []int{1, 2, 4} {
+		want := make([]*ProcResult, nprocs)
+		modeled := comm.Run(nprocs, m, func(p *comm.Proc) {
+			want[p.Rank()] = Run(p, cfg)
+		})
+		got := make([]*ProcResult, nprocs)
+		measured := comm.RunMeasured(nprocs, m, func(p *comm.Proc) {
+			got[p.Rank()] = Run(p, cfg)
+		})
+
+		for r := 0; r < nprocs; r++ {
+			if measured.Clocks[r] != modeled.Clocks[r] {
+				t.Errorf("nprocs=%d rank %d: clock %v != %v", nprocs, r, measured.Clocks[r], modeled.Clocks[r])
+			}
+			if measured.Stats[r] != modeled.Stats[r] {
+				t.Errorf("nprocs=%d rank %d: stats %+v != %+v", nprocs, r, measured.Stats[r], modeled.Stats[r])
+			}
+			if got[r].Checksum != want[r].Checksum {
+				t.Errorf("nprocs=%d rank %d: checksum %v != %v", nprocs, r, got[r].Checksum, want[r].Checksum)
+			}
+			if got[r].MoveTime != want[r].MoveTime {
+				t.Errorf("nprocs=%d rank %d: move time %v != %v", nprocs, r, got[r].MoveTime, want[r].MoveTime)
+			}
+		}
+		if measured.TotalMsgsSent() != modeled.TotalMsgsSent() {
+			t.Errorf("nprocs=%d: msgs %d != %d", nprocs, measured.TotalMsgsSent(), modeled.TotalMsgsSent())
+		}
+		for _, phase := range []string{PhaseMove, PhaseCollide} {
+			if measured.MeasuredPhaseMax(phase) <= 0 {
+				t.Errorf("nprocs=%d: no measured time for phase %q", nprocs, phase)
+			}
+		}
+	}
+}
+
+// TestMeasuredModeMultiplexedParity: same program with 4 ranks multiplexed
+// onto one worker slot.
+func TestMeasuredModeMultiplexedParity(t *testing.T) {
+	cfg := smallConfig()
+	m := costmodel.IPSC860()
+	const nprocs = 4
+	var wantSum float64
+	modeled := comm.Run(nprocs, m, func(p *comm.Proc) {
+		res := Run(p, cfg)
+		if p.Rank() == 0 {
+			wantSum = res.Checksum
+		}
+	})
+	var gotSum float64
+	measured := comm.RunMeasuredTransport(nprocs, m, comm.NewMemTransport(nprocs), comm.MeasureOpts{Workers: 1}, func(p *comm.Proc) {
+		res := Run(p, cfg)
+		if p.Rank() == 0 {
+			gotSum = res.Checksum
+		}
+	})
+	if measured.Workers != 1 {
+		t.Fatalf("Workers = %d, want 1", measured.Workers)
+	}
+	if gotSum != wantSum {
+		t.Errorf("checksum %v != %v", gotSum, wantSum)
+	}
+	for r := 0; r < nprocs; r++ {
+		if measured.Clocks[r] != modeled.Clocks[r] {
+			t.Errorf("rank %d: clock %v != %v", r, measured.Clocks[r], modeled.Clocks[r])
+		}
+	}
+}

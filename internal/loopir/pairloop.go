@@ -128,6 +128,7 @@ func (l *PairLoop) maybeInspect() {
 		l.dataDistSeen == dataV && l.iterDistSeen == iterV {
 		return
 	}
+	reg := l.prog.P.Phase("inspector")
 	if l.ht == nil || l.dataDistSeen != dataV || l.iterDistSeen != iterV {
 		// Data redistribution (or first run) invalidates translations.
 		l.ht = l.x.dec.dist.NewHashTable()
@@ -148,6 +149,7 @@ func (l *PairLoop) maybeInspect() {
 	l.dataDistSeen = dataV
 	l.iterDistSeen = iterV
 	l.inspections++
+	reg.End()
 }
 
 // Execute runs the loop once: gather x ghosts, run the body per iteration,
@@ -155,6 +157,8 @@ func (l *PairLoop) maybeInspect() {
 func (l *PairLoop) Execute() {
 	l.maybeInspect()
 	p := l.prog.P
+	reg := p.Phase("executor")
+	defer reg.End()
 	w := l.x.width
 	nLocal := l.ht.NLocal()
 	nBuf := nLocal + l.ht.NGhosts()

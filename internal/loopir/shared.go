@@ -79,6 +79,7 @@ func (g *SharedSched) Inspect() {
 	if !stale {
 		return
 	}
+	reg := g.prog.P.Phase("inspector")
 	if g.ht == nil || g.distSeen != g.dec.version {
 		// Redistribution (or first run) invalidates everything.
 		g.ht = g.dec.dist.NewHashTable()
@@ -105,6 +106,7 @@ func (g *SharedSched) Inspect() {
 		g.seen[m] = ia.version
 	}
 	g.inspections++
+	reg.End()
 }
 
 // ExecuteFusedSum executes a run of SumLoops that share one SharedSched as
@@ -128,6 +130,8 @@ func ExecuteFusedSum(loops []*SumLoop) {
 		l.maybeInspect()
 	}
 	p := g.prog.P
+	reg := p.Phase("executor")
+	defer reg.End()
 	nLocal := g.ht.NLocal()
 	nBuf := nLocal + g.ht.NGhosts()
 
@@ -207,6 +211,8 @@ func ExecuteFusedPair(loops []*PairLoop) {
 		l.maybeInspect()
 	}
 	p := g.prog.P
+	reg := p.Phase("executor")
+	defer reg.End()
 	nLocal := g.ht.NLocal()
 	nBuf := nLocal + g.ht.NGhosts()
 

@@ -121,6 +121,10 @@ func (l *SumLoop) maybeInspect() {
 		return
 	}
 	d := l.ind.dec
+	if l.ht != nil && l.distSeen == d.version && l.indSeen == l.ind.version {
+		return
+	}
+	reg := l.prog.P.Phase("inspector")
 	switch {
 	case l.distSeen != d.version || l.ht == nil:
 		// Redistribution invalidates everything: fresh hash table.
@@ -142,11 +146,10 @@ func (l *SumLoop) maybeInspect() {
 		l.sched = schedule.BuildInto(l.sched, l.prog.P, l.ht, l.stamp, 0)
 		l.prog.P.ComputeMem(len(l.ind.vals))
 		l.inspections++
-	default:
-		return
 	}
 	l.distSeen = d.version
 	l.indSeen = l.ind.version
+	reg.End()
 }
 
 // Inspect runs the inspector now if the recorded versions are stale (a
@@ -159,6 +162,8 @@ func (l *SumLoop) Inspect() { l.maybeInspect() }
 func (l *SumLoop) Execute() {
 	l.maybeInspect()
 	p := l.prog.P
+	reg := p.Phase("executor")
+	defer reg.End()
 	w := l.x.width
 	nLocal := l.ht.NLocal()
 	nBuf := nLocal + l.ht.NGhosts()
