@@ -5,7 +5,8 @@
 // Usage:
 //
 //	charmm [-procs N] [-atoms N] [-steps N] [-nbevery N] [-part rcb|rib|chain|block]
-//	       [-multiple] [-remap N] [-ckpt-dir DIR -ckpt-every N] [-resume DIR|latest]
+//	       [-multiple] [-remap N] [-adapt static|periodic:N|policy] [-adapt-verify]
+//	       [-ckpt-dir DIR -ckpt-every N] [-resume DIR|latest]
 //
 // With -ckpt-dir and -ckpt-every the run writes periodic checkpoints;
 // -resume continues from a checkpoint directory (or the latest sealed one
@@ -53,6 +54,8 @@ func main() {
 	part := flag.String("part", "rcb", "partitioner: rcb, rib, chain, block")
 	multiple := flag.Bool("multiple", false, "use per-loop schedules instead of merged")
 	remapEvery := flag.Int("remap", 0, "repartition every N steps (0 = once at start)")
+	adaptMode := flag.String("adapt", "", "remap trigger: static, periodic:N or policy (overrides -remap)")
+	adaptVerify := flag.Bool("adapt-verify", false, "cross-check policy decisions across ranks (panics on divergence)")
 	doTrace := flag.Bool("trace", false, "print a virtual-time Gantt chart and phase summary")
 	compiled := flag.Bool("compiled", false, "run the compiler-generated (loopir) version of the application")
 	ckptDir := flag.String("ckpt-dir", "", "directory for periodic checkpoints")
@@ -69,6 +72,8 @@ func main() {
 	cfg.Partitioner = *part
 	cfg.Merged = !*multiple
 	cfg.RemapEvery = *remapEvery
+	cfg.Adapt = *adaptMode
+	cfg.AdaptVerify = *adaptVerify
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
 	cfg.CrashStep = *crashStep
@@ -108,6 +113,9 @@ func main() {
 	fmt.Printf("  communication time  : %10.3f virtual s (mean)\n", rep.MeanCommTime())
 	fmt.Printf("  load balance index  : %10.3f\n", rep.LoadBalance())
 	fmt.Printf("  messages / volume   : %d msgs, %.2f MB\n", rep.TotalMsgsSent(), float64(rep.TotalBytesSent())/1e6)
+	if cfg.Adapt != "" {
+		fmt.Printf("  adapt mode          : %s (remapped at steps %v)\n", cfg.Adapt, results[0].RemapSteps)
+	}
 	fmt.Printf("  nb list entries     : %d\n", results[0].NBEntries)
 	fmt.Printf("  position checksum   : %.9f\n", results[0].Checksum)
 	if *measure {

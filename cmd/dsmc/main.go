@@ -6,6 +6,7 @@
 //
 //	dsmc [-procs N] [-nx N -ny N -nz N] [-mols N] [-steps N]
 //	     [-mover light|regular|compiler] [-part block|rcb|rib|chain] [-remap N]
+//	     [-adapt static|periodic:N|policy] [-adapt-verify]
 //	     [-ckpt-dir DIR -ckpt-every N] [-resume DIR|latest]
 //
 // With -ckpt-dir and -ckpt-every the run writes periodic checkpoints;
@@ -56,6 +57,8 @@ func main() {
 	mover := flag.String("mover", "light", "MOVE implementation: light, regular, compiler")
 	part := flag.String("part", "block", "partitioner for remapping")
 	remapEvery := flag.Int("remap", 0, "remap cells every N steps (0 = static)")
+	adaptMode := flag.String("adapt", "", "remap trigger: static, periodic:N or policy (overrides -remap)")
+	adaptVerify := flag.Bool("adapt-verify", false, "cross-check policy decisions across ranks (panics on divergence)")
 	slab := flag.Float64("slab", 1.0, "initial x-extent fraction holding all molecules")
 	doTrace := flag.Bool("trace", false, "print a virtual-time Gantt chart and phase summary")
 	ckptDir := flag.String("ckpt-dir", "", "directory for periodic checkpoints")
@@ -82,6 +85,8 @@ func main() {
 	cfg.Mover = dsmc.Mover(*mover)
 	cfg.Partitioner = *part
 	cfg.RemapEvery = *remapEvery
+	cfg.Adapt = *adaptMode
+	cfg.AdaptVerify = *adaptVerify
 	cfg.InitSlabFrac = *slab
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
@@ -104,6 +109,9 @@ func main() {
 
 	fmt.Printf("mini-DSMC: %dx%dx%d cells, %d molecules, %d steps, mover=%s part=%s remap=%d\n",
 		cfg.NX, cfg.NY, cfg.NZ, cfg.NMols, cfg.Steps, cfg.Mover, cfg.Partitioner, cfg.RemapEvery)
+	if cfg.Adapt != "" {
+		fmt.Printf("  adapt mode          : %s (remapped after steps %v)\n", cfg.Adapt, results[0].RemapSteps)
+	}
 	fmt.Printf("  processors          : %d\n", *procs)
 	fmt.Printf("  execution time      : %10.3f virtual s (wall %.2fs)\n", rep.MaxClock(), rep.Wall.Seconds())
 	fmt.Printf("  computation time    : %10.3f virtual s (mean)\n", rep.MeanComputeTime())

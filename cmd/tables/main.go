@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-markdown | -json]
+//	tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-adapt] [-markdown | -json]
 //
 // Without -table, all tables run. -quick uses the shrunken scale (seconds
 // instead of minutes of wall time). -markdown emits GitHub-flavoured
@@ -14,7 +14,9 @@
 // the executor collectives, not virtual time); -inspector likewise runs
 // only the wall-clock adaptive-inspector benchmark table; -cluster runs
 // only the chaosd cluster-service throughput table (jobs/min and elastic
-// restore counts through an in-process coordinator and worker pool).
+// restore counts through an in-process coordinator and worker pool);
+// -adapt runs only the BENCH_adapt table comparing static, periodic and
+// policy-driven remapping across three DSMC skew scenarios.
 package main
 
 import (
@@ -36,8 +38,9 @@ func main() {
 	clusterT := flag.Bool("cluster", false, "run only the chaosd cluster-service throughput table")
 	loopir := flag.Bool("loopir", false, "run only the fortd -O0 vs -O schedule-reuse table")
 	wallclock := flag.Bool("wallclock", false, "run only the measured wall-clock parallel-speedup table (scale-sensitive)")
+	adaptT := flag.Bool("adapt", false, "run only the BENCH_adapt adaptive-remapping comparison table")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-loopir] [-wallclock] [-markdown | -json]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-loopir] [-wallclock] [-adapt] [-markdown | -json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,15 +59,15 @@ func main() {
 	if *quick {
 		sc = bench.Quick()
 	}
-	if *datamotion || *inspector || *clusterT || *loopir || *wallclock {
+	if *datamotion || *inspector || *clusterT || *loopir || *wallclock || *adaptT {
 		picked := 0
-		for _, b := range []bool{*datamotion, *inspector, *clusterT, *loopir, *wallclock} {
+		for _, b := range []bool{*datamotion, *inspector, *clusterT, *loopir, *wallclock, *adaptT} {
 			if b {
 				picked++
 			}
 		}
 		if *table != 0 || picked > 1 {
-			fmt.Fprintln(os.Stderr, "tables: -datamotion, -inspector, -cluster, -loopir, -wallclock and -table are mutually exclusive")
+			fmt.Fprintln(os.Stderr, "tables: -datamotion, -inspector, -cluster, -loopir, -wallclock, -adapt and -table are mutually exclusive")
 			flag.Usage()
 			os.Exit(2)
 		}
@@ -80,6 +83,9 @@ func main() {
 		}
 		if *loopir {
 			t = bench.Loopir()
+		}
+		if *adaptT {
+			t = bench.Adapt(sc)
 		}
 		switch {
 		case *jsonOut:

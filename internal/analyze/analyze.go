@@ -79,6 +79,7 @@ func All() []*Analyzer {
 		Determinism,
 		UncheckedPeerFailure,
 		SchedReuse,
+		AdaptDecide,
 	}
 }
 

@@ -1,0 +1,54 @@
+// Package adaptdecide is a chaosvet fixture for the adapt-decide analyzer:
+// remap decision rules that consult rank-local or nondeterministic state
+// instead of AllReduce'd quantities.
+package adaptdecide
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// policy is a miniature remap controller with the adapt.Policy shape.
+type policy struct {
+	gain      float64
+	remapCost float64
+}
+
+// decideGood is the compliant shape: a pure rule over the AllReduce'd
+// per-rank cost vector, consulting only rank-invariant topology facts.
+func (pol *policy) decideGood(p *comm.Proc, red []float64) bool {
+	var max, sum float64
+	for _, v := range red {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if p.Size() < 2 {
+		return false
+	}
+	return max-sum/float64(len(red)) > pol.remapCost
+}
+
+// decideFromClock consults the local virtual clock, which differs across
+// ranks whenever their message waits differ.
+func (pol *policy) decideFromClock(p *comm.Proc) bool {
+	return p.Clock() > pol.remapCost // want:adapt-decide
+}
+
+// decideFromStats consults rank-local statistics without reducing them.
+func (pol *policy) decideFromStats(p *comm.Proc) bool {
+	return p.Stats().ComputeTime > pol.gain // want:adapt-decide
+}
+
+// DecideFromWallTime keys the decision off host wall time.
+func DecideFromWallTime(pol *policy, deadline time.Time) bool {
+	return time.Now().After(deadline) // want:adapt-decide want:determinism
+}
+
+// DecideFromRand flips a coin from the shared global source.
+func DecideFromRand(pol *policy) bool {
+	return rand.Float64() > pol.gain // want:adapt-decide want:determinism
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dsmc"
+)
+
+// adaptScenario is one DSMC load-evolution shape for the remap-policy
+// comparison.
+type adaptScenario struct {
+	name string
+	cfg  dsmc.Config
+}
+
+// adaptScenarios builds the three skew shapes of BENCH_adapt on a long
+// chain-partitioned 3-D domain:
+//
+//   - steady: molecules fill the domain uniformly and stay balanced, so
+//     every remap is pure overhead;
+//   - drifting flow: the Table 5 scenario — a coherent concentration in
+//     the low-x half translating along +x, degrading any fixed partition
+//     at a steady rate;
+//   - sudden front: a narrow fast-moving front, so the imbalance profile
+//     changes abruptly rather than gradually.
+func adaptScenarios(sc Scale) []adaptScenario {
+	base := dsmc.Default3D()
+	base.NX, base.NY, base.NZ = 96, 4, 4
+	base.NMols = sc.AdaptMols
+	base.Steps = sc.AdaptSteps
+	base.Partitioner = "chain"
+
+	steady := base
+	steady.InitSlabFrac = 1.0
+
+	// Drift is sized so the concentration traverses a large fraction of the
+	// 96-cell domain within the benchmark's step budget — the initial chain
+	// partition visibly degrades, unlike Default3D's slow Table 5 creep.
+	// The large thermal spread disperses the concentration toward uniformity
+	// over the run, so the skew-growth rate decays: frequent remaps pay
+	// early, and progressively longer periods (eventually none) pay late —
+	// no fixed period is right for the whole run.
+	drifting := base
+	drifting.InitSlabFrac = 0.5
+	drifting.Drift = 3.2
+	drifting.Sigma = 3.0
+
+	front := base
+	front.InitSlabFrac = 0.15
+	front.Drift = 4.8
+	front.Sigma = 0.12
+
+	return []adaptScenario{
+		{"steady", steady},
+		{"drifting flow", drifting},
+		{"sudden front", front},
+	}
+}
+
+// AdaptModes are the remap triggers BENCH_adapt sweeps: never (beyond the
+// initial partition), three Table 7-style fixed periods, and the online
+// policy engine.
+var AdaptModes = []string{"static", "periodic:2", "periodic:5", "periodic:10", "policy"}
+
+// Adapt compares remap triggers across the skew scenarios: one row per
+// mode, one virtual-seconds column per scenario, plus the per-scenario
+// remap counts. The policy rows run with cross-rank decision verification
+// armed, so a determinism regression fails the table loudly.
+func Adapt(sc Scale) *Table {
+	scens := adaptScenarios(sc)
+	t := &Table{
+		ID:    "BENCH_adapt",
+		Title: "Adaptive remapping: policy engine vs static and periodic (virtual sec)",
+		Notes: []string{
+			fmt.Sprintf("%d procs, %d molecules, %d steps, chain partitioner", sc.AdaptProcs, sc.AdaptMols, sc.AdaptSteps),
+			"remaps column: repartition count per scenario, in scenario order",
+		},
+	}
+	t.Columns = []string{"Mode"}
+	for _, s := range scens {
+		t.Columns = append(t.Columns, s.name)
+	}
+	t.Columns = append(t.Columns, "remaps")
+	for _, mode := range AdaptModes {
+		row := []string{mode}
+		counts := ""
+		for _, s := range scens {
+			clk, remaps := RunAdaptScenario(sc, s.cfg, mode)
+			row = append(row, f3(clk))
+			if counts != "" {
+				counts += "/"
+			}
+			counts += fmt.Sprint(len(remaps))
+		}
+		t.Rows = append(t.Rows, append(row, counts))
+	}
+	return t
+}
+
+// RunAdaptScenario runs one DSMC scenario under one remap trigger and
+// returns the run makespan (virtual seconds) and the steps at which the
+// trigger remapped. Exported for the regression test that pins "policy
+// beats static and every fixed period on drifting flow".
+func RunAdaptScenario(sc Scale, cfg dsmc.Config, mode string) (clock float64, remaps []int) {
+	cfg.Adapt = mode
+	// Verify stays off: its fingerprint reductions are test instrumentation
+	// and would bill the policy rows for communication the production
+	// configuration never does.
+	cfg.AdaptVerify = false
+	results := make([]*dsmc.ProcResult, sc.AdaptProcs)
+	rep := sc.run(sc.AdaptProcs, func(p *comm.Proc) {
+		results[p.Rank()] = dsmc.Run(p, cfg)
+	})
+	return rep.MaxClock(), results[0].RemapSteps
+}

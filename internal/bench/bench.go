@@ -107,6 +107,11 @@ type Scale struct {
 	Dsmc7Procs  []int
 	Dsmc7Mols   int
 	Dsmc7Steps  int
+	// Adaptive remapping (BENCH_adapt): the DSMC skew scenarios on which
+	// static, periodic and policy-driven remapping are compared.
+	AdaptProcs int
+	AdaptMols  int
+	AdaptSteps int
 	// Measured wall-clock mode (BENCH_wallclock): scenario sizes and rank
 	// counts for the real-time speedup table. The first entry of WallProcs
 	// is the speedup baseline.
@@ -171,6 +176,9 @@ func Full() Scale {
 		Dsmc7Procs:      []int{4, 8, 16, 32},
 		Dsmc7Mols:       5000,
 		Dsmc7Steps:      50,
+		AdaptProcs:      16,
+		AdaptMols:       18000,
+		AdaptSteps:      200,
 		WallProcs:       []int{1, 2, 4, 8},
 		WallReps:        3,
 		WallCharmmAtoms: 6000,
@@ -203,6 +211,9 @@ func Quick() Scale {
 		Dsmc7Procs:      []int{2, 4},
 		Dsmc7Mols:       1000,
 		Dsmc7Steps:      10,
+		AdaptProcs:      8,
+		AdaptMols:       2400,
+		AdaptSteps:      96,
 		WallProcs:       []int{1, 2, 4},
 		WallReps:        3,
 		WallCharmmAtoms: 6000,

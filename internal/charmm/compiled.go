@@ -1,6 +1,7 @@
 package charmm
 
 import (
+	"repro/internal/adapt"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/loopir"
@@ -23,6 +24,14 @@ import (
 // at kernel grain is Table 6 (see kernel.go).
 func RunCompiled(p *comm.Proc, cfg Config) *ProcResult {
 	validate(cfg)
+	switch mode, period := adapt.ParseMode(cfg.Adapt); mode {
+	case "periodic":
+		cfg.RemapEvery = period
+	case "static":
+		cfg.RemapEvery = 0
+	case "policy":
+		panic("charmm: Adapt=policy is not supported for the compiled variant")
+	}
 	init := GenInitState(cfg)
 	prog := loopir.NewProgram(p)
 	timer := core.NewPhaseTimer(p)

@@ -36,6 +36,14 @@ type Config struct {
 	// preprocessing pipeline) every RemapEvery steps, alternating RCB and
 	// RIB when AlternatePartitioners is set (the Table 6 scenario).
 	RemapEvery int
+	// Adapt selects how repartitioning is triggered: "" leaves RemapEvery
+	// in charge, "static" repartitions only during setup, "periodic:N"
+	// repartitions every N steps, and "policy" lets the adapt.Policy engine
+	// decide online from AllReduce'd per-step compute costs. "static" and
+	// "policy" override RemapEvery.
+	Adapt string
+	// AdaptVerify enables the policy engine's cross-rank agreement check.
+	AdaptVerify bool
 	// Dt is the integration step.
 	Dt float64
 	// Seed drives all random generation.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/adapt"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/hashtab"
@@ -38,6 +39,9 @@ type ProcResult struct {
 	Spans      []core.Span
 	Checksum   float64
 	NBEntries  int64
+	// RemapSteps lists the time steps at which atoms were repartitioned
+	// (identical on all ranks).
+	RemapSteps []int
 }
 
 // simState carries the distributed simulation between preprocessing stages.
@@ -84,6 +88,18 @@ func RunKeepState(p *comm.Proc, cfg Config) (*ProcResult, *FinalState) {
 
 func run(p *comm.Proc, cfg Config) (*ProcResult, *simState) {
 	validate(cfg)
+	mode, period := adapt.ParseMode(cfg.Adapt)
+	switch mode {
+	case "periodic":
+		cfg.RemapEvery = period
+	case "static", "policy":
+		cfg.RemapEvery = 0
+	}
+	var pol *adapt.Policy
+	if mode == "policy" {
+		pol = adapt.NewPolicy()
+		pol.Verify = cfg.AdaptVerify
+	}
 	rt := core.NewRuntime(p)
 	switch cfg.TableKind {
 	case "", "replicated":
@@ -102,19 +118,28 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, *simState) {
 	if cfg.ResumeFrom != "" {
 		s, startStep, remapCount = resume(p, rt, cfg, timer)
 	} else {
-		s = setup(p, rt, cfg, timer)
+		s = setup(p, rt, cfg, timer, pol)
 	}
 
+	var remapSteps []int
+	lastCost := adapt.CostPoint(p)
 	for step := startStep + 1; step <= cfg.Steps; step++ {
 		if cfg.CrashStep > 0 && step == cfg.CrashStep && p.Rank() == cfg.CrashRank {
 			panic(fmt.Sprintf("charmm: injected crash on rank %d at step %d", p.Rank(), step))
 		}
-		if cfg.RemapEvery > 0 && step%cfg.RemapEvery == 0 {
+		doRemap := cfg.RemapEvery > 0 && step%cfg.RemapEvery == 0
+		if pol != nil {
+			now := adapt.CostPoint(p)
+			doRemap = pol.Step(p, now-lastCost)
+			lastCost = now
+		}
+		if doRemap {
 			part := cfg.Partitioner
 			if cfg.AlternatePartitioners && remapCount%2 == 1 {
 				part = alternateOf(cfg.Partitioner)
 			}
 			remapCount++
+			t0 := adapt.EpisodePoint(p)
 			repartition(p, s, part, timer)
 			s.ptr, s.jnb = buildNBListPar(p, s.atoms.Globals(), s.pos, cfg)
 			p.Barrier()
@@ -122,6 +147,11 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, *simState) {
 			buildInspector(p, s, cfg)
 			p.Barrier()
 			timer.Mark(PhaseSchedRegen)
+			if pol != nil {
+				pol.ObserveRemap(p, adapt.EpisodePoint(p)-t0)
+				lastCost = adapt.CostPoint(p)
+			}
+			remapSteps = append(remapSteps, step)
 		} else if step%cfg.NBEvery == 0 {
 			// Adaptive phase: the non-bonded list changes; index analysis
 			// for unchanged indices is reused via the hash table.
@@ -142,7 +172,7 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, *simState) {
 		}
 	}
 
-	res := &ProcResult{Phases: timer.Times, PhaseStats: timer.Stats, Spans: timer.Spans()}
+	res := &ProcResult{Phases: timer.Times, PhaseStats: timer.Stats, Spans: timer.Spans(), RemapSteps: remapSteps}
 	// Global checksum: mean absolute coordinate.
 	sum := 0.0
 	for _, v := range s.pos {
@@ -159,8 +189,10 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, *simState) {
 }
 
 // setup generates the initial condition and runs the full preprocessing
-// pipeline (initial list, phases A-E) for a fresh run.
-func setup(p *comm.Proc, rt *core.Runtime, cfg Config, timer *core.PhaseTimer) *simState {
+// pipeline (initial list, phases A-E) for a fresh run. When a remap policy
+// is active, the initial partition+list+inspector episode bootstraps its
+// remap-cost estimate.
+func setup(p *comm.Proc, rt *core.Runtime, cfg Config, timer *core.PhaseTimer, pol *adapt.Policy) *simState {
 	init := GenInitState(cfg)
 	s := &simState{atoms: rt.BlockDist(cfg.NAtoms)}
 	// Local slabs of the initial condition.
@@ -181,6 +213,7 @@ func setup(p *comm.Proc, rt *core.Runtime, cfg Config, timer *core.PhaseTimer) *
 	timer.Mark(PhaseNBListInit)
 
 	// Phases A-D.
+	t0 := adapt.EpisodePoint(p)
 	repartition(p, s, cfg.Partitioner, timer)
 
 	// The paper regenerates the non-bonded list after redistribution,
@@ -193,6 +226,9 @@ func setup(p *comm.Proc, rt *core.Runtime, cfg Config, timer *core.PhaseTimer) *
 	buildInspector(p, s, cfg)
 	p.Barrier()
 	timer.Mark(PhaseSchedGen)
+	if pol != nil {
+		pol.ObserveRemap(p, adapt.EpisodePoint(p)-t0)
+	}
 	return s
 }
 
@@ -208,6 +244,7 @@ func validate(cfg Config) {
 	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" {
 		panic("charmm: CheckpointEvery set without CheckpointDir")
 	}
+	adapt.ParseMode(cfg.Adapt) // panics on a malformed Adapt string
 }
 
 func alternateOf(part string) string {

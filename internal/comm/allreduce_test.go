@@ -1,0 +1,89 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+)
+
+// TestAllReduceF64IntoParity pins AllReduceF64Into against AllReduceF64:
+// identical results on every rank, identical message/byte counts and
+// identical virtual clocks, for every op and several sizes.
+func TestAllReduceF64IntoParity(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		for _, op := range []Op{OpSum, OpMax, OpMin} {
+			ref := make([][]float64, n)
+			refStats := make([]Stats, n)
+			refClock := make([]float64, n)
+			Run(n, costmodel.Uniform(1e-6), func(p *Proc) {
+				vec := testVec(p.Rank(), 5)
+				ref[p.Rank()] = p.AllReduceF64(op, vec)
+				refStats[p.Rank()] = p.Stats()
+				refClock[p.Rank()] = p.Clock()
+			})
+			got := make([][]float64, n)
+			gotStats := make([]Stats, n)
+			gotClock := make([]float64, n)
+			Run(n, costmodel.Uniform(1e-6), func(p *Proc) {
+				vec := testVec(p.Rank(), 5)
+				scratch := make([]float64, 0, 5)
+				p.AllReduceF64Into(op, vec, scratch)
+				got[p.Rank()] = vec
+				gotStats[p.Rank()] = p.Stats()
+				gotClock[p.Rank()] = p.Clock()
+			})
+			for r := 0; r < n; r++ {
+				for i := range ref[r] {
+					if math.Float64bits(ref[r][i]) != math.Float64bits(got[r][i]) {
+						t.Errorf("n=%d op=%d rank %d elem %d: Into=%v want %v",
+							n, op, r, i, got[r][i], ref[r][i])
+					}
+				}
+				if refStats[r] != gotStats[r] {
+					t.Errorf("n=%d op=%d rank %d: stats diverge: Into=%+v want %+v",
+						n, op, r, gotStats[r], refStats[r])
+				}
+				if refClock[r] != gotClock[r] {
+					t.Errorf("n=%d op=%d rank %d: clock %v != %v", n, op, r, gotClock[r], refClock[r])
+				}
+			}
+		}
+	}
+}
+
+func testVec(rank, w int) []float64 {
+	vec := make([]float64, w)
+	for i := range vec {
+		vec[i] = float64((rank+1)*(i+3)) * 0.25
+	}
+	vec[rank%w] = -vec[rank%w]
+	return vec
+}
+
+// TestAllReduceF64IntoSteadyStateAllocs pins the allocation-free property:
+// once scratch has capacity, repeated reductions allocate nothing on any
+// rank.
+func TestAllReduceF64IntoSteadyStateAllocs(t *testing.T) {
+	const n = 4
+	got := make([]float64, n)
+	Run(n, costmodel.Uniform(1e-9), func(p *Proc) {
+		vec := testVec(p.Rank(), 8)
+		var scratch []float64
+		body := func() {
+			for i := range vec {
+				vec[i] = float64(p.Rank()*8 + i)
+			}
+			scratch = p.AllReduceF64Into(OpSum, vec, scratch)
+		}
+		for i := 0; i < 5; i++ {
+			body()
+		}
+		got[p.Rank()] = testing.AllocsPerRun(50, body)
+	})
+	for r, a := range got {
+		if a != 0 {
+			t.Errorf("rank %d: %v allocs/op in AllReduceF64Into steady state, want 0", r, a)
+		}
+	}
+}

@@ -227,6 +227,41 @@ func (p *Proc) AllReduceF64(op Op, vec []float64) []float64 {
 	return DecodeF64(p.Broadcast(0, buf))
 }
 
+// AllReduceF64Into combines vec element-wise across all ranks with op,
+// leaving the result in vec on every rank. scratch is caller-owned receive
+// space, grown as needed and returned for reuse; once scratch has capacity
+// len(vec) the call performs no allocations. The message pattern (peers,
+// tags, byte counts, virtual charges) is identical to AllReduceF64.
+func (p *Proc) AllReduceF64Into(op Op, vec, scratch []float64) []float64 {
+	if p.size == 1 {
+		return scratch
+	}
+	// Binomial reduce to rank 0; vec accumulates in place.
+	for mask := 1; mask < p.size; mask <<= 1 {
+		if p.rank&mask != 0 {
+			p.SendF64Buf(p.rank-mask, tagReduce, vec)
+			break
+		}
+		if p.rank|mask < p.size {
+			scratch = p.RecvF64Into(p.rank|mask, tagReduce, scratch)
+			combineF64(op, vec, scratch)
+		}
+	}
+	// Broadcast the result along the same binomial tree as Broadcast
+	// (root 0), overwriting vec on every non-root rank.
+	mask := lowestRecvMask(p.rank, p.size)
+	if p.rank != 0 {
+		scratch = p.RecvF64Into(p.rank-mask, tagBcast, scratch)
+		copy(vec, scratch)
+	}
+	for m := mask >> 1; m > 0; m >>= 1 {
+		if p.rank+m < p.size {
+			p.SendF64Buf(p.rank+m, tagBcast, vec)
+		}
+	}
+	return scratch
+}
+
 // AllReduceI64 combines vec element-wise across all ranks with op and
 // returns the result on every rank. vec is not modified.
 func (p *Proc) AllReduceI64(op Op, vec []int64) []int64 {

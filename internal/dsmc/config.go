@@ -20,7 +20,11 @@
 // implementations, which the tests exploit.
 package dsmc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/adapt"
+)
 
 // Mover selects the MOVE-phase implementation.
 type Mover string
@@ -65,6 +69,16 @@ type Config struct {
 	SlotCap int
 	// RemapEvery repartitions cells every RemapEvery steps (0 = static).
 	RemapEvery int
+	// Adapt selects how remapping is triggered: "" leaves RemapEvery in
+	// charge (the historical knob), "static" never remaps beyond the
+	// initial partition, "periodic:N" remaps every N steps, and "policy"
+	// lets the adapt.Policy engine decide online from AllReduce'd per-step
+	// compute costs. "static" and "policy" override RemapEvery.
+	Adapt string
+	// AdaptVerify enables the policy engine's cross-rank agreement check:
+	// every decision's inputs are fingerprint-AllReduce'd and a divergence
+	// panics instead of silently desynchronizing remap schedules.
+	AdaptVerify bool
 	// Partitioner: "block", "rcb", "rib" or "chain" (chain along x).
 	Partitioner string
 	// CollideFlops is the modeled arithmetic per molecule in the collision
@@ -97,6 +111,10 @@ func (c Config) collideCost() int {
 	return collideFlopsPerMol
 }
 
+// adaptMode parses Config.Adapt into (mode, period): ("", 0) when unset,
+// ("static", 0), ("periodic", N) or ("policy", 0). Panics on anything else.
+func (c Config) adaptMode() (string, int) { return adapt.ParseMode(c.Adapt) }
+
 // Validate panics on inconsistent configuration.
 func (c Config) Validate() {
 	if c.NX < 1 || c.NY < 1 || c.NZ < 1 || c.NMols < 0 || c.Steps < 0 {
@@ -122,6 +140,7 @@ func (c Config) Validate() {
 	if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
 		panic("dsmc: CheckpointEvery set without CheckpointDir")
 	}
+	c.adaptMode() // panics on a malformed Adapt string
 }
 
 // NCells returns the total cell count.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/adapt"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/loopir"
@@ -30,6 +31,10 @@ type ProcResult struct {
 	// MoveTime is the total virtual time of the MOVE phase (the paper's
 	// "Reduce append" row in Table 7 for the light mover).
 	MoveTime float64
+	// RemapSteps lists the time steps after which cells were repartitioned
+	// and molecules migrated (identical on all ranks: periodic remaps are
+	// schedule-driven and policy remaps decide from AllReduce'd inputs).
+	RemapSteps []int
 }
 
 // Run executes the parallel DSMC simulation on one SPMD rank. Collective.
@@ -47,6 +52,18 @@ func RunKeepMols(p *comm.Proc, cfg Config) []float64 {
 
 func run(p *comm.Proc, cfg Config) (*ProcResult, []float64) {
 	cfg.Validate()
+	mode, period := cfg.adaptMode()
+	switch mode {
+	case "periodic":
+		cfg.RemapEvery = period
+	case "static", "policy":
+		cfg.RemapEvery = 0
+	}
+	var pol *adapt.Policy
+	if mode == "policy" {
+		pol = adapt.NewPolicy()
+		pol.Verify = cfg.AdaptVerify
+	}
 	rt := core.NewRuntime(p)
 	timer := core.NewPhaseTimer(p)
 
@@ -68,13 +85,20 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, []float64) {
 		}
 		timer.Skip() // setup is not measured
 
-		// Remapping policies partition once before the run as well.
-		if cfg.RemapEvery > 0 && cfg.Partitioner != "block" {
+		// Remapping policies partition once before the run as well; the
+		// policy engine prices its first episode from this bootstrap remap.
+		if (cfg.RemapEvery > 0 || mode == "static" || mode == "policy") && cfg.Partitioner != "block" {
+			t0 := adapt.EpisodePoint(p)
 			cells, mols = remapCells(p, &cfg, cells, mols, timer)
+			if pol != nil {
+				pol.ObserveRemap(p, adapt.EpisodePoint(p)-t0)
+			}
 		}
 	}
 
+	var remapSteps []int
 	var sc moveScratch
+	lastCost := adapt.CostPoint(p)
 	for step := startStep + 1; step <= cfg.Steps; step++ {
 		if cfg.CrashStep > 0 && step == cfg.CrashStep && p.Rank() == cfg.CrashRank {
 			panic(fmt.Sprintf("dsmc: injected crash on rank %d at step %d", p.Rank(), step))
@@ -92,8 +116,20 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, []float64) {
 		collideOwned(p, &cfg, cells, mols, step)
 		timer.Mark(PhaseCollide)
 
-		if cfg.RemapEvery > 0 && step%cfg.RemapEvery == 0 && step < cfg.Steps {
+		doRemap := cfg.RemapEvery > 0 && step%cfg.RemapEvery == 0 && step < cfg.Steps
+		if pol != nil && step < cfg.Steps {
+			now := adapt.CostPoint(p)
+			doRemap = pol.Step(p, now-lastCost)
+			lastCost = now
+		}
+		if doRemap {
+			t0 := adapt.EpisodePoint(p)
 			cells, mols = remapCells(p, &cfg, cells, mols, timer)
+			if pol != nil {
+				pol.ObserveRemap(p, adapt.EpisodePoint(p)-t0)
+				lastCost = adapt.CostPoint(p)
+			}
+			remapSteps = append(remapSteps, step)
 		}
 		if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
 			saveCheckpoint(p, &cfg, cells, mols, step)
@@ -103,6 +139,7 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, []float64) {
 
 	res := &ProcResult{Phases: timer.Times, PhaseStats: timer.Stats, Spans: timer.Spans()}
 	res.MoveTime = timer.Times[PhaseMove]
+	res.RemapSteps = remapSteps
 	res.Checksum = p.AllReduceScalarF64(comm.OpSum, Checksum(mols))
 	return res, mols
 }

@@ -49,6 +49,11 @@ type PairLoop struct {
 	shared  *SharedSched
 	ma, mb  int
 	hoisted bool
+
+	// Adaptive self-scheduling executor state (nil = static executor) and
+	// the cumulative data-motion statistics of either executor path.
+	ss     *selfSched
+	motion comm.Stats
 }
 
 // NewPairLoop compiles the two-indirection reduction loop. ia and ib must
@@ -155,6 +160,10 @@ func (l *PairLoop) maybeInspect() {
 // Execute runs the loop once: gather x ghosts, run the body per iteration,
 // scatter-add the contributions, accumulate into f. Collective.
 func (l *PairLoop) Execute() {
+	if l.ss != nil {
+		l.executeSelfSched()
+		return
+	}
 	l.maybeInspect()
 	p := l.prog.P
 	reg := p.Phase("executor")
@@ -166,7 +175,9 @@ func (l *PairLoop) Execute() {
 
 	xb := make([]float64, nBuf*w)
 	copy(xb, l.x.data)
+	s0 := p.Stats()
 	schedule.GatherW(p, l.sched, xb, w)
+	l.motion.Add(p.Stats().Sub(s0))
 
 	fb := make([]float64, nBuf*w)
 	for k := 0; k < l.ia.dec.NLocal(); k++ {
@@ -176,7 +187,9 @@ func (l *PairLoop) Execute() {
 	}
 	p.ComputeFlops(l.flopsPerIter * l.ia.dec.NLocal())
 
+	s1 := p.Stats()
 	schedule.ScatterW(p, l.sched, fb, w, schedule.OpAdd)
+	l.motion.Add(p.Stats().Sub(s1))
 	for i := 0; i < l.x.dec.NLocal()*w; i++ {
 		l.f.data[i] += fb[i]
 	}

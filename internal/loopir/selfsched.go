@@ -1,0 +1,415 @@
+package loopir
+
+import (
+	"repro/internal/adapt"
+	"repro/internal/comm"
+	"repro/internal/schedule"
+)
+
+// Steal-protocol tags: user point-to-point tag space (the collective range
+// starts at 1<<24; remap uses 110).
+const (
+	tagStealIn  = 120 // donor -> thief: packed chunk inputs
+	tagStealOut = 121 // thief -> donor: packed per-pair contribution deltas
+)
+
+// PairParamBody is the k-free kernel a self-scheduled PairLoop runs for
+// stolen iterations: prm carries the iteration's packed per-iteration
+// parameters (nil when the loop was enabled without a parameter array). It
+// must compute exactly the adds the loop's PairIterBody computes for the
+// same iteration — the donor ships xi, xj, and prm, so any other
+// k-dependence in the body cannot be reproduced on the thief.
+type PairParamBody func(prm, xi, xj, fi, fj []float64)
+
+// selfSched holds the per-loop state of the adaptive self-scheduling
+// executor mode. The executor cuts the local iteration space into whole-row
+// chunks sized by the controller, has every rank estimate its chunk costs
+// from the observed per-unit cost, AllReduces the estimates, and executes
+// the deterministic steal plan all ranks derive from the reduced view.
+// Stolen contributions come back as per-pair deltas the owner replays in
+// exact static iteration order, so every REAL array stays bit-identical to
+// the static schedule.
+type selfSched struct {
+	ctl    *adapt.Controller
+	kernel PairParamBody // PairLoop only
+	prm    *RealArray    // PairLoop only, may be nil
+
+	chunkEnd   []int32   // exclusive end row/iteration of each chunk
+	chunkCost  []float64 // estimated chunk costs fed to the planner
+	chunkUnits []int     // pairs/iterations per chunk
+	chunkAlias []bool    // chunk contains an aliased (i==j) pair
+
+	xb, fb  []float64 // persistent gather/reduce buffers
+	payload []float64 // donor->thief input staging
+	delta   []float64 // thief->donor delta staging
+}
+
+// chunkRows returns the [start, end) row range of local chunk c.
+func (ss *selfSched) chunkRows(c int) (int, int) {
+	if c == 0 {
+		return 0, int(ss.chunkEnd[0])
+	}
+	return int(ss.chunkEnd[c-1]), int(ss.chunkEnd[c])
+}
+
+// stealableSuffix counts the trailing chunks free of aliased pairs. An
+// aliased pair (i == j) makes fi and fj one slot: the static executor
+// applies the body's two adds in the body's own internal order, which a
+// delta replay (always fi then fj) cannot reproduce bit-exactly — so such
+// chunks are never offered to the planner.
+func (ss *selfSched) stealableSuffix() int {
+	s := 0
+	for c := len(ss.chunkAlias) - 1; c >= 0 && !ss.chunkAlias[c]; c-- {
+		s++
+	}
+	return s
+}
+
+// costNow is the executor's cost reading for chunk observation: the virtual
+// clock by default, the wall clock under comm.RunMeasured (feeding real
+// per-rank skew into the controller; the steal plan itself still comes from
+// one AllReduce, so ranks never diverge).
+func costNow(p *comm.Proc) float64 {
+	if p.MeasuredMode() {
+		return p.WallNow()
+	}
+	return p.Clock()
+}
+
+// grow returns s with length n, reusing capacity when possible. Contents
+// are unspecified.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// SelfSched enables the adaptive self-scheduling executor mode for the
+// loop. Results stay bit-identical to the static Execute; only the virtual
+// (and measured) timeline changes. ctl must be dedicated to this loop.
+func (l *SumLoop) SelfSched(ctl *adapt.Controller) {
+	w := l.x.width
+	// Per stolen pair: 2w float64 inputs out and 2w deltas back on the
+	// wire; the donor packs 2w and replays 2w slots, the thief stores 2w.
+	ctl.Configure(l.prog.P.Machine(), l.flopsPerPair, 8*4*w, 4*w, 2*w)
+	l.ss = &selfSched{ctl: ctl}
+}
+
+// DataMotion returns the cumulative communication statistics of the
+// executor's data-motion phase (gather + scatter) across all Execute calls,
+// for either executor mode.
+func (l *SumLoop) DataMotion() comm.Stats { return l.motion }
+
+// executeSelfSched is the self-scheduling counterpart of Execute.
+func (l *SumLoop) executeSelfSched() {
+	l.maybeInspect()
+	p := l.prog.P
+	reg := p.Phase("executor")
+	defer reg.End()
+	ss := l.ss
+	w := l.x.width
+	nLocal := l.ht.NLocal()
+	nBuf := nLocal + l.ht.NGhosts()
+	l.chargeGuard(p, nLocal)
+
+	ss.xb = grow(ss.xb, nBuf*w)
+	copy(ss.xb, l.x.data)
+	s0 := p.Stats()
+	schedule.GatherW(p, l.sched, ss.xb, w)
+	l.motion.Add(p.Stats().Sub(s0))
+
+	ss.fb = grow(ss.fb, nBuf*w)
+	for i := range ss.fb {
+		ss.fb[i] = 0
+	}
+
+	// Cut the local rows into whole-row chunks of about ChunkUnits pairs:
+	// a chunk is an owner-aligned block, so stealing one never splits a
+	// reduction group.
+	nRows := l.ind.dec.NLocal()
+	ptr := l.ind.ptr
+	target := ss.ctl.ChunkUnits(int(ptr[nRows]))
+	ss.chunkEnd = ss.chunkEnd[:0]
+	ss.chunkCost = ss.chunkCost[:0]
+	ss.chunkUnits = ss.chunkUnits[:0]
+	ss.chunkAlias = ss.chunkAlias[:0]
+	loc := l.loc
+	for row := 0; row < nRows; {
+		count := 0
+		alias := false
+		end := row
+		for end < nRows {
+			for k := ptr[end]; k < ptr[end+1]; k++ {
+				if int(loc[k]) == end {
+					alias = true
+				}
+			}
+			count += int(ptr[end+1] - ptr[end])
+			end++
+			if count >= target {
+				break
+			}
+		}
+		ss.chunkEnd = append(ss.chunkEnd, int32(end))
+		ss.chunkCost = append(ss.chunkCost, float64(count)*ss.ctl.CostPerUnit())
+		ss.chunkUnits = append(ss.chunkUnits, count)
+		ss.chunkAlias = append(ss.chunkAlias, alias)
+		row = end
+	}
+	p.ComputeMem(nRows + len(ss.chunkEnd)) // chunk-bounds bookkeeping
+
+	ss.ctl.Plan(p, ss.chunkCost, ss.chunkUnits, ss.stealableSuffix())
+
+	// Donor: pack and send stolen chunk inputs up front (sends are
+	// non-blocking), in ascending chunk order so each thief's FIFO stream
+	// matches the replay order below.
+	for _, st := range ss.ctl.Sends() {
+		r0, r1 := ss.chunkRows(st.Chunk)
+		ss.payload = ss.payload[:0]
+		for i := r0; i < r1; i++ {
+			for k := ptr[i]; k < ptr[i+1]; k++ {
+				j := int(loc[k])
+				ss.payload = append(ss.payload, ss.xb[i*w:(i+1)*w]...)
+				ss.payload = append(ss.payload, ss.xb[j*w:(j+1)*w]...)
+			}
+		}
+		p.ComputeMem(len(ss.payload))
+		p.SendF64Buf(st.Thief, tagStealIn, ss.payload)
+	}
+
+	// Local chunks: everything below the stolen suffix, in static order,
+	// with per-chunk cost observation feeding the controller.
+	localChunks := len(ss.chunkEnd) - len(ss.ctl.Sends())
+	start := 0
+	for c := 0; c < localChunks; c++ {
+		end := int(ss.chunkEnd[c])
+		t0 := costNow(p)
+		cp := 0
+		for i := start; i < end; i++ {
+			xi := ss.xb[i*w : (i+1)*w]
+			fi := ss.fb[i*w : (i+1)*w]
+			for k := ptr[i]; k < ptr[i+1]; k++ {
+				j := int(loc[k])
+				l.body(xi, ss.xb[j*w:(j+1)*w], fi, ss.fb[j*w:(j+1)*w])
+				cp++
+			}
+		}
+		p.ComputeFlops(l.flopsPerPair * cp)
+		ss.ctl.Observe(cp, costNow(p)-t0)
+		start = end
+	}
+
+	// Thief: run stolen chunks into zeroed delta slots and send the
+	// per-pair deltas back. The body only adds into its fi/fj slots, so a
+	// delta computed from zeros is exactly the contribution the static
+	// schedule would have added in place.
+	for _, st := range ss.ctl.Work() {
+		ss.payload = p.RecvF64Into(st.Donor, tagStealIn, ss.payload)
+		n := len(ss.payload) / (2 * w)
+		ss.delta = grow(ss.delta, 2*n*w)
+		for i := range ss.delta {
+			ss.delta[i] = 0
+		}
+		for q := 0; q < n; q++ {
+			in := ss.payload[q*2*w : (q+1)*2*w]
+			out := ss.delta[q*2*w : (q+1)*2*w]
+			l.body(in[:w], in[w:], out[:w], out[w:])
+		}
+		p.ComputeFlops(l.flopsPerPair * n)
+		p.ComputeMem(len(ss.payload))
+		p.SendF64Buf(st.Donor, tagStealOut, ss.delta)
+	}
+
+	// Owner: replay stolen contributions after all local chunks, ascending
+	// chunk order, one fi/fj add per pair in static iteration order — the
+	// same combine order per owner as the static schedule, bit-exact.
+	for _, st := range ss.ctl.Sends() {
+		r0, r1 := ss.chunkRows(st.Chunk)
+		ss.delta = p.RecvF64Into(st.Thief, tagStealOut, ss.delta)
+		q := 0
+		for i := r0; i < r1; i++ {
+			fi := ss.fb[i*w : (i+1)*w]
+			for k := ptr[i]; k < ptr[i+1]; k++ {
+				fj := ss.fb[int(loc[k])*w:]
+				d := ss.delta[q*2*w:]
+				for c := 0; c < w; c++ {
+					fi[c] += d[c]
+				}
+				for c := 0; c < w; c++ {
+					fj[c] += d[w+c]
+				}
+				q++
+			}
+		}
+		p.ComputeMem(len(ss.delta))
+	}
+
+	s1 := p.Stats()
+	schedule.ScatterW(p, l.sched, ss.fb, w, schedule.OpAdd)
+	l.motion.Add(p.Stats().Sub(s1))
+	for i := 0; i < nRows*w; i++ {
+		l.f.data[i] += ss.fb[i]
+	}
+	p.ComputeMem(nRows * w)
+}
+
+// SelfSched enables the adaptive self-scheduling executor mode for the
+// loop. kernel is the k-free stolen-iteration body; prm (optional, may be
+// nil) is a parameter array aligned with the iteration decomposition whose
+// row k is shipped to the thief alongside the pair values, covering bodies
+// like the bonded-force loop that read per-iteration constants. Results
+// stay bit-identical to the static Execute.
+func (l *PairLoop) SelfSched(ctl *adapt.Controller, prm *RealArray, kernel PairParamBody) {
+	if prm != nil && prm.dec != l.ia.dec {
+		panic("loopir: PairLoop self-scheduling parameters must be aligned with the iteration decomposition")
+	}
+	w := l.x.width
+	pw := 0
+	if prm != nil {
+		pw = prm.width
+	}
+	// Per stolen iteration: 2w+pw float64 inputs out, 2w deltas back.
+	ctl.Configure(l.prog.P.Machine(), l.flopsPerIter, 8*(4*w+pw), 4*w+pw, 2*w)
+	l.ss = &selfSched{ctl: ctl, kernel: kernel, prm: prm}
+}
+
+// DataMotion returns the cumulative communication statistics of the
+// executor's data-motion phase (gather + scatter) across all Execute calls,
+// for either executor mode.
+func (l *PairLoop) DataMotion() comm.Stats { return l.motion }
+
+// executeSelfSched is the self-scheduling counterpart of Execute.
+func (l *PairLoop) executeSelfSched() {
+	l.maybeInspect()
+	p := l.prog.P
+	reg := p.Phase("executor")
+	defer reg.End()
+	ss := l.ss
+	w := l.x.width
+	nLocal := l.ht.NLocal()
+	nBuf := nLocal + l.ht.NGhosts()
+	l.chargeGuard(p)
+
+	ss.xb = grow(ss.xb, nBuf*w)
+	copy(ss.xb, l.x.data)
+	s0 := p.Stats()
+	schedule.GatherW(p, l.sched, ss.xb, w)
+	l.motion.Add(p.Stats().Sub(s0))
+
+	ss.fb = grow(ss.fb, nBuf*w)
+	for i := range ss.fb {
+		ss.fb[i] = 0
+	}
+
+	// Chunks are iteration ranges; each iteration is its own reduction
+	// group (one fi add, one fj add), so any cut is owner-aligned.
+	nIter := l.ia.dec.NLocal()
+	target := ss.ctl.ChunkUnits(nIter)
+	ss.chunkEnd = ss.chunkEnd[:0]
+	ss.chunkCost = ss.chunkCost[:0]
+	ss.chunkUnits = ss.chunkUnits[:0]
+	ss.chunkAlias = ss.chunkAlias[:0]
+	for k := 0; k < nIter; k += target {
+		end := k + target
+		if end > nIter {
+			end = nIter
+		}
+		alias := false
+		for q := k; q < end; q++ {
+			if l.la[q] == l.lb[q] {
+				alias = true
+			}
+		}
+		ss.chunkEnd = append(ss.chunkEnd, int32(end))
+		ss.chunkCost = append(ss.chunkCost, float64(end-k)*ss.ctl.CostPerUnit())
+		ss.chunkUnits = append(ss.chunkUnits, end-k)
+		ss.chunkAlias = append(ss.chunkAlias, alias)
+	}
+	p.ComputeMem(len(ss.chunkEnd)) // chunk-bounds bookkeeping
+
+	ss.ctl.Plan(p, ss.chunkCost, ss.chunkUnits, ss.stealableSuffix())
+
+	pw := 0
+	var prm []float64
+	if ss.prm != nil {
+		pw = ss.prm.width
+		prm = ss.prm.data
+	}
+	rec := 2*w + pw
+
+	for _, st := range ss.ctl.Sends() {
+		k0, k1 := ss.chunkRows(st.Chunk)
+		ss.payload = ss.payload[:0]
+		for k := k0; k < k1; k++ {
+			i := int(l.la[k])
+			j := int(l.lb[k])
+			ss.payload = append(ss.payload, ss.xb[i*w:(i+1)*w]...)
+			ss.payload = append(ss.payload, ss.xb[j*w:(j+1)*w]...)
+			if pw > 0 {
+				ss.payload = append(ss.payload, prm[k*pw:(k+1)*pw]...)
+			}
+		}
+		p.ComputeMem(len(ss.payload))
+		p.SendF64Buf(st.Thief, tagStealIn, ss.payload)
+	}
+
+	localChunks := len(ss.chunkEnd) - len(ss.ctl.Sends())
+	start := 0
+	for c := 0; c < localChunks; c++ {
+		end := int(ss.chunkEnd[c])
+		t0 := costNow(p)
+		for k := start; k < end; k++ {
+			i := int(l.la[k])
+			j := int(l.lb[k])
+			l.body(k, ss.xb[i*w:(i+1)*w], ss.xb[j*w:(j+1)*w], ss.fb[i*w:(i+1)*w], ss.fb[j*w:(j+1)*w])
+		}
+		p.ComputeFlops(l.flopsPerIter * (end - start))
+		ss.ctl.Observe(end-start, costNow(p)-t0)
+		start = end
+	}
+
+	for _, st := range ss.ctl.Work() {
+		ss.payload = p.RecvF64Into(st.Donor, tagStealIn, ss.payload)
+		n := len(ss.payload) / rec
+		ss.delta = grow(ss.delta, 2*n*w)
+		for i := range ss.delta {
+			ss.delta[i] = 0
+		}
+		for q := 0; q < n; q++ {
+			in := ss.payload[q*rec : (q+1)*rec]
+			out := ss.delta[q*2*w : (q+1)*2*w]
+			ss.kernel(in[2*w:], in[:w], in[w:2*w], out[:w], out[w:])
+		}
+		p.ComputeFlops(l.flopsPerIter * n)
+		p.ComputeMem(len(ss.payload))
+		p.SendF64Buf(st.Donor, tagStealOut, ss.delta)
+	}
+
+	for _, st := range ss.ctl.Sends() {
+		k0, k1 := ss.chunkRows(st.Chunk)
+		ss.delta = p.RecvF64Into(st.Thief, tagStealOut, ss.delta)
+		q := 0
+		for k := k0; k < k1; k++ {
+			fi := ss.fb[int(l.la[k])*w:]
+			fj := ss.fb[int(l.lb[k])*w:]
+			d := ss.delta[q*2*w:]
+			for c := 0; c < w; c++ {
+				fi[c] += d[c]
+			}
+			for c := 0; c < w; c++ {
+				fj[c] += d[w+c]
+			}
+			q++
+		}
+		p.ComputeMem(len(ss.delta))
+	}
+
+	s1 := p.Stats()
+	schedule.ScatterW(p, l.sched, ss.fb, w, schedule.OpAdd)
+	l.motion.Add(p.Stats().Sub(s1))
+	for i := 0; i < l.x.dec.NLocal()*w; i++ {
+		l.f.data[i] += ss.fb[i]
+	}
+	p.ComputeMem(l.x.dec.NLocal() * w)
+}

@@ -1,0 +1,275 @@
+package loopir
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/partition"
+)
+
+// skewedCSR builds a global CSR whose head rows are much denser than the
+// tail, so a BLOCK distribution overloads rank 0.
+func skewedCSR(n, headDeg, tailDeg int, seed int64) (ptr, vals []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	ptr = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		deg := tailDeg
+		if i < n/4 {
+			deg = headDeg
+		}
+		deg += rng.Intn(3)
+		for d := 0; d < deg; d++ {
+			vals = append(vals, int32(rng.Intn(n)))
+		}
+		ptr[i+1] = int32(len(vals))
+	}
+	return ptr, vals
+}
+
+// sumTrial runs a sum loop `execs` times, returning per-rank Float64bits
+// of f, the executor data-motion stats, and the run makespan. steals
+// reports the size of the global steal plan seen on rank 0's last Execute.
+func sumTrial(nprocs, n, w, execs, flops int, gptr, gvals []int32, x0 []float64, self bool) (bits [][]uint64, motion []comm.Stats, clk float64, steals int) {
+	bits = make([][]uint64, nprocs)
+	motion = make([]comm.Stats, nprocs)
+	rep := comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+		prog := NewProgram(p)
+		dec := prog.Decomposition(n)
+		x := dec.AlignReal(w)
+		f := dec.AlignReal(w)
+		x.SetByGlobal(func(g int32, c []float64) {
+			for cc := range c {
+				c[cc] = x0[int(g)*w+cc]
+			}
+		})
+		ind := dec.AlignIndCSR()
+		ptr, vals := localizeCSR(p, n, gptr, gvals)
+		ind.SetCSR(ptr, vals)
+		loop := prog.NewSumLoop(ind, x, f, flops, figure10Body)
+		var ctl *adapt.Controller
+		if self {
+			ctl = adapt.NewController()
+			loop.SelfSched(ctl)
+		}
+		for e := 0; e < execs; e++ {
+			loop.Execute()
+		}
+		lf := f.Local()
+		b := make([]uint64, len(lf))
+		for i, v := range lf {
+			b[i] = math.Float64bits(v)
+		}
+		bits[p.Rank()] = b
+		motion[p.Rank()] = loop.DataMotion()
+		if ctl != nil && p.Rank() == 0 {
+			steals = len(ctl.Steals())
+		}
+	})
+	return bits, motion, rep.MaxClock(), steals
+}
+
+func pairParamKernel(prm, xi, xj, fi, fj []float64) {
+	for c := range xi {
+		d := (xi[c] - xj[c]) * prm[0]
+		fi[c] += d
+		fj[c] -= d
+	}
+}
+
+// pairTrial is sumTrial for a PairLoop whose body reads a per-iteration
+// parameter (the bonded-force pattern): the static body closes over the
+// aligned parameter array, the stolen-iteration kernel receives the row
+// shipped in the payload.
+func pairTrial(nprocs, nData, nBonds, w, execs int, gia, gib []int32, x0, prm0 []float64, self bool) (bits [][]uint64, motion []comm.Stats, steals int) {
+	bits = make([][]uint64, nprocs)
+	motion = make([]comm.Stats, nprocs)
+	comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+		prog := NewProgram(p)
+		data := prog.Decomposition(nData)
+		bonds := prog.Decomposition(nBonds)
+		x := data.AlignReal(w)
+		f := data.AlignReal(w)
+		x.SetByGlobal(func(g int32, c []float64) {
+			for cc := range c {
+				c[cc] = x0[int(g)*w+cc]
+			}
+		})
+		prm := bonds.AlignReal(1)
+		prm.SetByGlobal(func(g int32, c []float64) { c[0] = prm0[g] })
+		ia := bonds.AlignIndFlat(1)
+		ib := bonds.AlignIndFlat(1)
+		lo, hi := partition.BlockRange(p.Rank(), nBonds, p.Size())
+		ia.SetFlat(append([]int32(nil), gia[lo:hi]...))
+		ib.SetFlat(append([]int32(nil), gib[lo:hi]...))
+		body := func(k int, xi, xj, fi, fj []float64) {
+			pairParamKernel(prm.Local()[k:k+1], xi, xj, fi, fj)
+		}
+		loop := prog.NewPairLoop(ia, ib, x, f, 9, body)
+		var ctl *adapt.Controller
+		if self {
+			ctl = adapt.NewController()
+			ctl.MinChunkUnits = 8
+			loop.SelfSched(ctl, prm, pairParamKernel)
+		}
+		for e := 0; e < execs; e++ {
+			loop.Execute()
+		}
+		lf := f.Local()
+		b := make([]uint64, len(lf))
+		for i, v := range lf {
+			b[i] = math.Float64bits(v)
+		}
+		bits[p.Rank()] = b
+		motion[p.Rank()] = loop.DataMotion()
+		if ctl != nil && p.Rank() == 0 {
+			steals = len(ctl.Steals())
+		}
+	})
+	return bits, motion, steals
+}
+
+func compareTrial(t *testing.T, label string, nprocs int, sBits, aBits [][]uint64, sMotion, aMotion []comm.Stats) {
+	t.Helper()
+	for r := 0; r < nprocs; r++ {
+		if len(sBits[r]) != len(aBits[r]) {
+			t.Fatalf("%s rank %d: result lengths differ", label, r)
+		}
+		for i := range sBits[r] {
+			if sBits[r][i] != aBits[r][i] {
+				t.Fatalf("%s rank %d elem %d: self-sched %016x != static %016x",
+					label, r, i, aBits[r][i], sBits[r][i])
+			}
+		}
+		if sMotion[r].MsgsSent != aMotion[r].MsgsSent || sMotion[r].BytesSent != aMotion[r].BytesSent ||
+			sMotion[r].MsgsRecv != aMotion[r].MsgsRecv || sMotion[r].BytesRecv != aMotion[r].BytesRecv {
+			t.Errorf("%s rank %d: data-motion phase differs: self-sched %+v static %+v",
+				label, r, aMotion[r], sMotion[r])
+		}
+	}
+}
+
+// TestSelfSchedPropertyBitIdentical is the adaptivity analogue of the
+// fortd -O bit-identity property test: 200+ randomized trials of sum and
+// pair loops across {1,2,3,4} procs, asserting the self-scheduling
+// executor produces identical Float64bits on every REAL array and an
+// identical message/byte count in the executor's data-motion phase.
+func TestSelfSchedPropertyBitIdentical(t *testing.T) {
+	trials := 0
+	totalSteals := 0
+	for seed := int64(0); seed < 26; seed++ {
+		for _, nprocs := range []int{1, 2, 3, 4} {
+			rng := rand.New(rand.NewSource(1000 + seed))
+			n := 40 + rng.Intn(120)
+			w := 1 + rng.Intn(3)
+			execs := 1 + rng.Intn(3)
+			gptr, gvals := skewedCSR(n, 8+rng.Intn(8), rng.Intn(3), seed)
+			x0 := make([]float64, n*w)
+			for i := range x0 {
+				x0[i] = rng.NormFloat64()
+			}
+			sBits, sMotion, _, _ := sumTrial(nprocs, n, w, execs, 50, gptr, gvals, x0, false)
+			aBits, aMotion, _, st := sumTrial(nprocs, n, w, execs, 50, gptr, gvals, x0, true)
+			compareTrial(t, "sum", nprocs, sBits, aBits, sMotion, aMotion)
+			trials++
+			totalSteals += st
+
+			nBonds := 60 + rng.Intn(200)
+			gia := make([]int32, nBonds)
+			gib := make([]int32, nBonds)
+			for k := range gia {
+				gia[k] = int32(rng.Intn(n))
+				gib[k] = int32(rng.Intn(n))
+			}
+			prm0 := make([]float64, nBonds)
+			for i := range prm0 {
+				prm0[i] = 0.5 + rng.Float64()
+			}
+			sBits, sMotion, _ = pairTrialSplit(nprocs, n, nBonds, w, execs, gia, gib, x0, prm0, false)
+			var st2 int
+			aBits, aMotion, st2 = pairTrialSplit(nprocs, n, nBonds, w, execs, gia, gib, x0, prm0, true)
+			compareTrial(t, "pair", nprocs, sBits, aBits, sMotion, aMotion)
+			trials++
+			totalSteals += st2
+		}
+	}
+	if trials < 200 {
+		t.Fatalf("only %d trials, want >= 200", trials)
+	}
+	if totalSteals == 0 {
+		t.Fatal("no trial ever stole a chunk; the property test is vacuous")
+	}
+}
+
+// pairTrialSplit exists so pairTrial's name stays usable from other tests.
+func pairTrialSplit(nprocs, nData, nBonds, w, execs int, gia, gib []int32, x0, prm0 []float64, self bool) ([][]uint64, []comm.Stats, int) {
+	return pairTrial(nprocs, nData, nBonds, w, execs, gia, gib, x0, prm0, self)
+}
+
+// TestSelfSchedImprovesSkewedMakespan pins the point of the mode: on a
+// heavily skewed layout the cost-charged steal plan lowers the virtual
+// makespan relative to the static executor.
+func TestSelfSchedImprovesSkewedMakespan(t *testing.T) {
+	const n = 256
+	gptr, gvals := skewedCSR(n, 24, 1, 3)
+	x0 := make([]float64, n)
+	rng := rand.New(rand.NewSource(4))
+	for i := range x0 {
+		x0[i] = rng.Float64()
+	}
+	_, _, staticClk, _ := sumTrial(4, n, 1, 4, 200, gptr, gvals, x0, false)
+	_, _, adaptClk, steals := sumTrial(4, n, 1, 4, 200, gptr, gvals, x0, true)
+	if steals == 0 {
+		t.Fatal("skewed layout produced no steals")
+	}
+	if adaptClk >= staticClk {
+		t.Errorf("self-scheduling makespan %.6f >= static %.6f", adaptClk, staticClk)
+	}
+}
+
+// TestAdaptSteadyStateAllocs pins the PR 3/PR 5 discipline on the new
+// executor path: once warm, a self-scheduled Execute (chunking, planning
+// AllReduce, steal traffic, replay) allocates nothing on any rank.
+func TestAdaptSteadyStateAllocs(t *testing.T) {
+	const n = 192
+	const nprocs = 4
+	gptr, gvals := skewedCSR(n, 16, 1, 11)
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = float64(i) * 0.5
+	}
+	got := make([]float64, nprocs)
+	plan := 0
+	comm.Run(nprocs, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		prog := NewProgram(p)
+		dec := prog.Decomposition(n)
+		x := dec.AlignReal(1)
+		f := dec.AlignReal(1)
+		x.SetByGlobal(func(g int32, c []float64) { c[0] = x0[g] })
+		ind := dec.AlignIndCSR()
+		ptr, vals := localizeCSR(p, n, gptr, gvals)
+		ind.SetCSR(ptr, vals)
+		ctl := adapt.NewController()
+		loop := prog.NewSumLoop(ind, x, f, 50, figure10Body)
+		loop.SelfSched(ctl)
+		body := func() { loop.Execute() }
+		for i := 0; i < 5; i++ {
+			body()
+		}
+		got[p.Rank()] = testing.AllocsPerRun(20, body)
+		if p.Rank() == 0 {
+			plan = len(ctl.Steals())
+		}
+	})
+	if plan == 0 {
+		t.Fatal("steady state has no steals; the alloc test does not cover the steal path")
+	}
+	for r, a := range got {
+		if a != 0 {
+			t.Errorf("rank %d: %v allocs/op in self-scheduled Execute steady state, want 0", r, a)
+		}
+	}
+}

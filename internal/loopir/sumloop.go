@@ -49,6 +49,11 @@ type SumLoop struct {
 	shared  *SharedSched
 	member  int
 	hoisted bool
+
+	// Adaptive self-scheduling executor state (nil = static executor) and
+	// the cumulative data-motion statistics of either executor path.
+	ss     *selfSched
+	motion comm.Stats
 }
 
 // NewSumLoop compiles a FORALL/REDUCE(SUM) loop. ind must be a CSR
@@ -160,6 +165,10 @@ func (l *SumLoop) Inspect() { l.maybeInspect() }
 // Execute runs the loop once: inspector (if needed), gather, local
 // reduction, scatter-add. The reductions accumulate into f. Collective.
 func (l *SumLoop) Execute() {
+	if l.ss != nil {
+		l.executeSelfSched()
+		return
+	}
 	l.maybeInspect()
 	p := l.prog.P
 	reg := p.Phase("executor")
@@ -174,7 +183,9 @@ func (l *SumLoop) Execute() {
 
 	xb := make([]float64, nBuf*w)
 	copy(xb, l.x.data)
+	s0 := p.Stats()
 	schedule.GatherW(p, l.sched, xb, w)
+	l.motion.Add(p.Stats().Sub(s0))
 
 	fb := make([]float64, nBuf*w)
 	ptr := l.ind.ptr
@@ -190,7 +201,9 @@ func (l *SumLoop) Execute() {
 	}
 	p.ComputeFlops(l.flopsPerPair * pairs)
 
+	s1 := p.Stats()
 	schedule.ScatterW(p, l.sched, fb, w, schedule.OpAdd)
+	l.motion.Add(p.Stats().Sub(s1))
 	for i := 0; i < l.ind.dec.NLocal()*w; i++ {
 		l.f.data[i] += fb[i]
 	}

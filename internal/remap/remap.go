@@ -270,6 +270,11 @@ func (pl *Plan) MoveI32(p *comm.Proc, old []int32, width int) []int32 {
 // the destination-layout (ptr, values) pair. Used to remap the CHARMM
 // non-bonded lists, where each atom carries its partner list. Collective.
 func (pl *Plan) MoveCSR(p *comm.Proc, ptr []int32, values []int32) ([]int32, []int32) {
+	if len(ptr) == 0 {
+		// A rank holding no elements may pass a nil CSR; normalize to the
+		// zero-row form so len(ptr)-1 below stays non-negative.
+		ptr = []int32{0}
+	}
 	segLen := func(i int32) int32 { return ptr[i+1] - ptr[i] }
 	// First move the segment lengths as a width-1 int array.
 	lens := make([]int32, len(ptr)-1)

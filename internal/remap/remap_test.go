@@ -188,6 +188,147 @@ func TestPlanMoveCSR(t *testing.T) {
 	})
 }
 
+func TestPlanMoveCSREmptyRows(t *testing.T) {
+	// Every segment is empty: the moved structure must be all-empty rows of
+	// the destination length, with no values traffic.
+	const n = 40
+	const nprocs = 4
+	comm.Run(nprocs, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		gs := blockGlobals(p, n)
+		mine := make([]int32, len(gs))
+		for i, g := range gs {
+			mine[i] = int32((g + 2) % nprocs)
+		}
+		tt := ttable.Build(p, ttable.Replicated, BlockMap(p, gs, mine, n))
+		pl := NewPlan(p, gs, tt)
+		ptr := make([]int32, len(gs)+1) // all zeros: every row empty
+		newPtr, newVals := pl.MoveCSR(p, ptr, nil)
+		if len(newPtr) != tt.NLocal(p.Rank())+1 {
+			t.Fatalf("rank %d: newPtr length %d, want %d", p.Rank(), len(newPtr), tt.NLocal(p.Rank())+1)
+		}
+		for i, v := range newPtr {
+			if v != 0 {
+				t.Errorf("rank %d: newPtr[%d] = %d, want 0", p.Rank(), i, v)
+			}
+		}
+		if len(newVals) != 0 {
+			t.Errorf("rank %d: %d values materialized from empty rows", p.Rank(), len(newVals))
+		}
+	})
+}
+
+func TestPlanMoveCSRAllLocal(t *testing.T) {
+	// Identity distribution: nothing moves, and the CSR comes back equal.
+	const n = 30
+	comm.Run(3, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		gs := blockGlobals(p, n)
+		mine := make([]int32, len(gs))
+		for i := range mine {
+			mine[i] = int32(p.Rank())
+		}
+		tt := ttable.Build(p, ttable.Replicated, BlockMap(p, gs, mine, n))
+		pl := NewPlan(p, gs, tt)
+		if pl.MovedAway() != 0 {
+			t.Fatalf("identity plan moves %d elements", pl.MovedAway())
+		}
+		ptr := make([]int32, len(gs)+1)
+		var vals []int32
+		for i, g := range gs {
+			for k := 0; k <= int(g)%3; k++ {
+				vals = append(vals, g*10+int32(k))
+			}
+			ptr[i+1] = int32(len(vals))
+		}
+		newPtr, newVals := pl.MoveCSR(p, ptr, vals)
+		for g := 0; g < n; g++ {
+			if int(tt.OwnerOf(g)) != p.Rank() {
+				continue
+			}
+			off := tt.OffsetOf(g)
+			seg := newVals[newPtr[off]:newPtr[off+1]]
+			src := int(g) - int(gs[0])
+			want := vals[ptr[src]:ptr[src+1]]
+			if len(seg) != len(want) {
+				t.Fatalf("global %d: segment length %d, want %d", g, len(seg), len(want))
+			}
+			for k := range seg {
+				if seg[k] != want[k] {
+					t.Errorf("global %d: seg[%d] = %d, want %d", g, k, seg[k], want[k])
+				}
+			}
+		}
+	})
+}
+
+func TestPlanMoveCSRSingleRank(t *testing.T) {
+	// Single-rank degenerate: the whole move is the keep path.
+	const n = 9
+	comm.Run(1, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		gs := blockGlobals(p, n)
+		mine := make([]int32, len(gs)) // all owned by rank 0
+		tt := ttable.Build(p, ttable.Replicated, BlockMap(p, gs, mine, n))
+		pl := NewPlan(p, gs, tt)
+		ptr := []int32{0, 2, 2, 5, 5, 5, 6, 6, 8, 9}
+		vals := []int32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+		newPtr, newVals := pl.MoveCSR(p, ptr, vals)
+		for i := range ptr {
+			if newPtr[i] != ptr[i] {
+				t.Fatalf("newPtr[%d] = %d, want %d", i, newPtr[i], ptr[i])
+			}
+		}
+		for i := range vals {
+			if newVals[i] != vals[i] {
+				t.Errorf("newVals[%d] = %d, want %d", i, newVals[i], vals[i])
+			}
+		}
+	})
+}
+
+func TestPlanMoveCSRNilPtrOnEmptyRank(t *testing.T) {
+	// Regression: a rank holding zero elements under the source distribution
+	// naturally passes a nil CSR, which used to panic on make(..., -1).
+	const n = 12
+	const nprocs = 4
+	comm.Run(nprocs, costmodel.Uniform(1e-9), func(p *comm.Proc) {
+		var gs []int32
+		if p.Rank() != nprocs-1 {
+			// Ranks 0..2 split the globals; the last rank starts empty.
+			for g := p.Rank(); g < n; g += nprocs - 1 {
+				gs = append(gs, int32(g))
+			}
+		}
+		owners := make([]int32, len(gs))
+		for i, g := range gs {
+			owners[i] = g % nprocs // destination: CYCLIC over all ranks
+		}
+		tt := ttable.Build(p, ttable.Replicated, BlockMap(p, gs, owners, n))
+		pl := NewPlan(p, gs, tt)
+		ptr := make([]int32, len(gs)+1)
+		var vals []int32
+		for i, g := range gs {
+			vals = append(vals, g, g)
+			ptr[i+1] = int32(len(vals))
+		}
+		if p.Rank() == nprocs-1 {
+			ptr, vals = nil, nil // the empty rank's natural zero values
+		}
+		newPtr, newVals := pl.MoveCSR(p, ptr, vals)
+		if len(newPtr) != tt.NLocal(p.Rank())+1 {
+			t.Fatalf("rank %d: newPtr length %d, want %d", p.Rank(), len(newPtr), tt.NLocal(p.Rank())+1)
+		}
+		for g := 0; g < n; g++ {
+			if int(tt.OwnerOf(g)) != p.Rank() {
+				continue
+			}
+			off := tt.OffsetOf(g)
+			seg := newVals[newPtr[off]:newPtr[off+1]]
+			if len(seg) != 2 || seg[0] != int32(g) || seg[1] != int32(g) {
+				t.Errorf("rank %d global %d: segment %v, want [%d %d]", p.Rank(), g, seg, g, g)
+			}
+		}
+	})
+}
+
 func TestPlanIdentityWhenDistributionUnchanged(t *testing.T) {
 	const n = 30
 	comm.Run(3, costmodel.Uniform(1e-9), func(p *comm.Proc) {
