@@ -67,6 +67,7 @@ func main() {
 	crashStep := flag.Int("crash-step", 0, "inject a rank panic at step N (crash-recovery demo)")
 	crashRank := flag.Int("crash-rank", 0, "rank that crashes at -crash-step")
 	measure := flag.Bool("measure", false, "run in measured wall-clock mode (real phase timers alongside virtual time)")
+	overlap := flag.Bool("overlap", false, "split-phase collectives: overlap the regular mover's scatter with slot fills")
 	flag.Parse()
 
 	cfg := dsmc.Default2D(*nx)
@@ -83,6 +84,7 @@ func main() {
 	}
 	cfg.Steps = *steps
 	cfg.Mover = dsmc.Mover(*mover)
+	cfg.Overlap = *overlap
 	cfg.Partitioner = *part
 	cfg.RemapEvery = *remapEvery
 	cfg.Adapt = *adaptMode
@@ -129,6 +131,17 @@ func main() {
 		for k, v := range r.Phases {
 			if v > phases[k] {
 				phases[k] = v
+			}
+		}
+	}
+	if *measure {
+		// Measured-only phases (the overlap windows charge no virtual
+		// time) must still get a row.
+		for _, m := range rep.Measured {
+			for k := range m.Phases {
+				if _, ok := phases[k]; !ok {
+					phases[k] = 0
+				}
 			}
 		}
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-adapt] [-markdown | -json]
+//	tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-adapt] [-overlap] [-markdown | -json]
 //
 // Without -table, all tables run. -quick uses the shrunken scale (seconds
 // instead of minutes of wall time). -markdown emits GitHub-flavoured
@@ -16,7 +16,10 @@
 // only the chaosd cluster-service throughput table (jobs/min and elastic
 // restore counts through an in-process coordinator and worker pool);
 // -adapt runs only the BENCH_adapt table comparing static, periodic and
-// policy-driven remapping across three DSMC skew scenarios.
+// policy-driven remapping across three DSMC skew scenarios; -overlap runs
+// only the BENCH_overlap table comparing the blocking executors against the
+// split-phase (communication/computation overlap) executors on measured
+// wall-clock time over a wire with real latency.
 package main
 
 import (
@@ -39,8 +42,9 @@ func main() {
 	loopir := flag.Bool("loopir", false, "run only the fortd -O0 vs -O schedule-reuse table")
 	wallclock := flag.Bool("wallclock", false, "run only the measured wall-clock parallel-speedup table (scale-sensitive)")
 	adaptT := flag.Bool("adapt", false, "run only the BENCH_adapt adaptive-remapping comparison table")
+	overlapT := flag.Bool("overlap", false, "run only the BENCH_overlap blocking-vs-split-phase measured wall table")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-loopir] [-wallclock] [-adapt] [-markdown | -json]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tables [-quick] [-table N] [-datamotion] [-inspector] [-cluster] [-loopir] [-wallclock] [-adapt] [-overlap] [-markdown | -json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,15 +63,15 @@ func main() {
 	if *quick {
 		sc = bench.Quick()
 	}
-	if *datamotion || *inspector || *clusterT || *loopir || *wallclock || *adaptT {
+	if *datamotion || *inspector || *clusterT || *loopir || *wallclock || *adaptT || *overlapT {
 		picked := 0
-		for _, b := range []bool{*datamotion, *inspector, *clusterT, *loopir, *wallclock, *adaptT} {
+		for _, b := range []bool{*datamotion, *inspector, *clusterT, *loopir, *wallclock, *adaptT, *overlapT} {
 			if b {
 				picked++
 			}
 		}
 		if *table != 0 || picked > 1 {
-			fmt.Fprintln(os.Stderr, "tables: -datamotion, -inspector, -cluster, -loopir, -wallclock, -adapt and -table are mutually exclusive")
+			fmt.Fprintln(os.Stderr, "tables: -datamotion, -inspector, -cluster, -loopir, -wallclock, -adapt, -overlap and -table are mutually exclusive")
 			flag.Usage()
 			os.Exit(2)
 		}
@@ -86,6 +90,9 @@ func main() {
 		}
 		if *adaptT {
 			t = bench.Adapt(sc)
+		}
+		if *overlapT {
+			t = bench.Overlap(sc)
 		}
 		switch {
 		case *jsonOut:

@@ -80,6 +80,7 @@ func All() []*Analyzer {
 		UncheckedPeerFailure,
 		SchedReuse,
 		AdaptDecide,
+		SplitPhase,
 	}
 }
 

@@ -85,7 +85,7 @@ func mustGetwd(t *testing.T) string {
 // fixtureNames are the analyzer fixture packages; each must produce exactly
 // its want-marked diagnostics and nothing else, under the FULL suite (so
 // fixtures double as false-positive tests for every other analyzer).
-var fixtureNames = []string{"spmd", "clockcharge", "stamplife", "tagmatch", "determinism", "errdrop", "schedreuse", "adaptdecide"}
+var fixtureNames = []string{"spmd", "clockcharge", "stamplife", "tagmatch", "determinism", "errdrop", "schedreuse", "adaptdecide", "splitphase"}
 
 func TestFixtures(t *testing.T) {
 	for _, name := range fixtureNames {

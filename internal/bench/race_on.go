@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions skip themselves under its instrumentation overhead.
+const raceEnabled = true

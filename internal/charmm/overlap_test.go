@@ -1,0 +1,130 @@
+package charmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+)
+
+// runOverlapPair runs the same configuration blocking and with split-phase
+// overlap and returns both runs' reports and final per-rank states.
+func runOverlapPair(t *testing.T, nprocs int, cfg Config) (blockRep, overRep *comm.Report, blockFin, overFin []*FinalState) {
+	t.Helper()
+	block := cfg
+	block.Overlap = false
+	over := cfg
+	over.Overlap = true
+	blockFin = make([]*FinalState, nprocs)
+	blockRep = comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+		_, blockFin[p.Rank()] = RunKeepState(p, block)
+	})
+	overFin = make([]*FinalState, nprocs)
+	overRep = comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+		_, overFin[p.Rank()] = RunKeepState(p, over)
+	})
+	return
+}
+
+// compareOverlapRun asserts the split-phase contract at application level:
+// bit-identical trajectories, virtual clocks, and communication statistics.
+func compareOverlapRun(t *testing.T, label string, nprocs int, blockRep, overRep *comm.Report, blockFin, overFin []*FinalState) {
+	t.Helper()
+	for r := 0; r < nprocs; r++ {
+		if math.Float64bits(blockRep.Clocks[r]) != math.Float64bits(overRep.Clocks[r]) {
+			t.Errorf("%s rank %d: clock %v (blocking) != %v (overlap)", label, r, blockRep.Clocks[r], overRep.Clocks[r])
+		}
+		if blockRep.Stats[r] != overRep.Stats[r] {
+			t.Errorf("%s rank %d: stats %+v != %+v", label, r, blockRep.Stats[r], overRep.Stats[r])
+		}
+		b, o := blockFin[r], overFin[r]
+		if len(b.Globals) != len(o.Globals) {
+			t.Fatalf("%s rank %d: owns %d atoms blocking, %d overlap", label, r, len(b.Globals), len(o.Globals))
+		}
+		for i := range b.Globals {
+			if b.Globals[i] != o.Globals[i] {
+				t.Fatalf("%s rank %d: atom %d is global %d blocking, %d overlap", label, r, i, b.Globals[i], o.Globals[i])
+			}
+		}
+		for i := range b.Pos {
+			if math.Float64bits(b.Pos[i]) != math.Float64bits(o.Pos[i]) {
+				t.Fatalf("%s rank %d: position %d: %v != %v", label, r, i, b.Pos[i], o.Pos[i])
+			}
+		}
+		for i := range b.Vel {
+			if math.Float64bits(b.Vel[i]) != math.Float64bits(o.Vel[i]) {
+				t.Fatalf("%s rank %d: velocity %d: %v != %v", label, r, i, b.Vel[i], o.Vel[i])
+			}
+		}
+	}
+}
+
+// TestOverlapBitIdentical: the -overlap executor must finish with
+// bit-identical atom state and bit-identical virtual time on every rank,
+// for both the merged schedule and the per-loop schedules, including runs
+// that rebuild the non-bonded list and splits mid-flight.
+func TestOverlapBitIdentical(t *testing.T) {
+	for _, merged := range []bool{true, false} {
+		cfg := smallConfig()
+		cfg.Merged = merged
+		label := "per-loop"
+		if merged {
+			label = "merged"
+		}
+		for _, nprocs := range []int{1, 2, 3} {
+			blockRep, overRep, blockFin, overFin := runOverlapPair(t, nprocs, cfg)
+			compareOverlapRun(t, label, nprocs, blockRep, overRep, blockFin, overFin)
+			if nprocs > 1 && blockRep.TotalMsgsSent() == 0 {
+				t.Fatalf("%s nprocs=%d: no messages; overlap parity is vacuous", label, nprocs)
+			}
+		}
+	}
+}
+
+// TestOverlapBitIdenticalUnderRemap repeats the parity check with periodic
+// repartitioning, exercising the split rebuild on redistribution.
+func TestOverlapBitIdenticalUnderRemap(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Steps = 9
+	cfg.RemapEvery = 3
+	cfg.AlternatePartitioners = true
+	const nprocs = 3
+	blockRep, overRep, blockFin, overFin := runOverlapPair(t, nprocs, cfg)
+	compareOverlapRun(t, "remap", nprocs, blockRep, overRep, blockFin, overFin)
+}
+
+// TestOverlapMeasuredParity: under comm.RunMeasured the overlap run must
+// still report the same virtual clocks (the measured wall is what changes,
+// and only that).
+func TestOverlapMeasuredParity(t *testing.T) {
+	cfg := smallConfig()
+	const nprocs = 2
+	block := cfg
+	over := cfg
+	over.Overlap = true
+	var blockSum, overSum float64
+	modeled := comm.RunMeasured(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+		res := Run(p, block)
+		if p.Rank() == 0 {
+			blockSum = res.Checksum
+		}
+	})
+	measured := comm.RunMeasured(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+		res := Run(p, over)
+		if p.Rank() == 0 {
+			overSum = res.Checksum
+		}
+	})
+	if blockSum != overSum {
+		t.Errorf("checksum %v (blocking) != %v (overlap)", blockSum, overSum)
+	}
+	for r := 0; r < nprocs; r++ {
+		if modeled.Clocks[r] != measured.Clocks[r] {
+			t.Errorf("rank %d: clock %v != %v", r, modeled.Clocks[r], measured.Clocks[r])
+		}
+	}
+	if measured.MeasuredPhaseMax("overlap") <= 0 {
+		t.Error("overlap run recorded no measured overlap-window time")
+	}
+}

@@ -60,6 +60,26 @@ type simState struct {
 	sched        *schedule.Schedule // merged
 	schedB       *schedule.Schedule // per-loop (when !Merged)
 	schedNB      *schedule.Schedule
+
+	// Interior/boundary iteration splits for the overlap executor
+	// (cfg.Overlap), rebuilt with the schedules.
+	splitB  *schedule.Split
+	splitNB *schedule.Split
+	// Per-iteration delta scratch for the overlap executor's replay
+	// (6 slots per iteration), reused across steps: a fresh multi-megabyte
+	// allocation per step costs more real time than the overlap can hide.
+	// Slots are zeroed at the write site, so no clearing pass is needed.
+	deltaB  []float64
+	deltaNB []float64
+}
+
+// growF64 returns buf resized to n elements, reallocating only on growth.
+// Contents are unspecified — every used slot must be written before read.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // Run executes the parallel CHARMM simulation on one SPMD rank. Collective:
@@ -164,7 +184,11 @@ func run(p *comm.Proc, cfg Config) (*ProcResult, *simState) {
 			p.Barrier()
 			timer.Mark(PhaseSchedRegen)
 		}
-		executeStep(p, s, cfg)
+		if cfg.Overlap {
+			executeStepOverlap(p, s, cfg)
+		} else {
+			executeStep(p, s, cfg)
+		}
 		timer.Mark(PhaseExecutor)
 		if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
 			saveCheckpoint(p, s, cfg, step, remapCount)
@@ -350,11 +374,14 @@ func rebuildSchedules(p *comm.Proc, s *simState, cfg Config) {
 	if cfg.Merged {
 		s.sched = schedule.BuildInto(s.sched, p, s.ht, s.sBond|s.sNB, 0)
 		s.schedB, s.schedNB = nil, nil
-		return
+	} else {
+		s.schedB = schedule.BuildInto(s.schedB, p, s.ht, s.sBond, 0)
+		s.schedNB = schedule.BuildInto(s.schedNB, p, s.ht, s.sNB, 0)
+		s.sched = nil
 	}
-	s.schedB = schedule.BuildInto(s.schedB, p, s.ht, s.sBond, 0)
-	s.schedNB = schedule.BuildInto(s.schedNB, p, s.ht, s.sNB, 0)
-	s.sched = nil
+	if cfg.Overlap {
+		buildSplits(s)
+	}
 }
 
 // executeStep is phase F: gather coordinates, compute bonded and non-bonded

@@ -73,6 +73,11 @@ type Proc struct {
 	// of the next unless compute or a send ran in between.
 	lastSample  float64
 	sampleValid bool
+
+	// Split-phase send state (async.go). asyncOn is owner-only and keeps the
+	// blocking paths free of even a mutex touch until SendStart is used.
+	async   asyncSender
+	asyncOn bool
 }
 
 // NewProc constructs a processor endpoint. Most code should use Run instead.
@@ -212,6 +217,9 @@ func (p *Proc) send(to, tag int, data []byte, pool *byteArena) {
 	if to == p.rank {
 		panic("comm: send to self (use local copy instead)")
 	}
+	// A blocking send must not overtake split-phase frames still queued on
+	// the sender goroutine, or per-link FIFO order breaks.
+	p.drainAsync()
 	depart := p.clock
 	p.clock += p.m.Alpha
 	p.stats.CommTime += p.m.Alpha

@@ -229,11 +229,18 @@ func runSPMD(n int, m *costmodel.Machine, tr Transport, mc *measureCfg, body fun
 				}
 			}
 			defer func() {
+				e := recover()
 				// A rank that panicked while holding its worker slot must
 				// give it back or surviving ranks starve (release is a no-op
 				// when the slot was already yielded inside a receive).
 				if slot != nil {
 					slot.release()
+				}
+				// Finish (healthy rank) or abandon (panicking rank) the
+				// split-phase send queue: every frame a healthy rank issued
+				// must be on the wire before RankDone below.
+				if ae := p.finishAsync(e != nil); e == nil {
+					e = ae
 				}
 				// Tell decorating transports the rank is done: a fault
 				// injector holding a reorder frame on one of this rank's
@@ -248,7 +255,7 @@ func runSPMD(n int, m *costmodel.Machine, tr Transport, mc *measureCfg, body fun
 				if mc != nil {
 					rep.Measured[rank] = p.meas
 				}
-				if e := recover(); e != nil {
+				if e != nil {
 					panics[rank] = e
 					// Unblock peers waiting on messages from this rank so a
 					// single failure does not deadlock the whole run.
@@ -311,8 +318,15 @@ func raisePanics(panics []any) {
 func RunRank(rank, n int, m *costmodel.Machine, tr Transport, body func(p *Proc)) (float64, Stats) {
 	p := NewProc(rank, n, tr, m)
 	defer func() {
+		e := recover()
+		if ae := p.finishAsync(e != nil); e == nil {
+			e = ae
+		}
 		if ro, ok := tr.(RankObserver); ok {
 			ro.RankDone(rank)
+		}
+		if e != nil {
+			panic(e)
 		}
 	}()
 	body(p)

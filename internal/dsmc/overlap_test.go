@@ -1,0 +1,86 @@
+package dsmc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+)
+
+// TestOverlapBitIdentical: the regular mover with -overlap (owned slot
+// fills overlapped with the scatter of ghost slots) must finish with
+// bit-identical molecule records, checksums, virtual clocks, and
+// communication statistics on every rank.
+func TestOverlapBitIdentical(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Mover = MoverRegular
+	for _, nprocs := range []int{1, 2, 4} {
+		block := cfg
+		over := cfg
+		over.Overlap = true
+		blockMols := make([][]float64, nprocs)
+		blockRep := comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+			blockMols[p.Rank()] = RunKeepMols(p, block)
+		})
+		overMols := make([][]float64, nprocs)
+		overRep := comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+			overMols[p.Rank()] = RunKeepMols(p, over)
+		})
+		for r := 0; r < nprocs; r++ {
+			if math.Float64bits(blockRep.Clocks[r]) != math.Float64bits(overRep.Clocks[r]) {
+				t.Errorf("nprocs=%d rank %d: clock %v (blocking) != %v (overlap)", nprocs, r, blockRep.Clocks[r], overRep.Clocks[r])
+			}
+			if blockRep.Stats[r] != overRep.Stats[r] {
+				t.Errorf("nprocs=%d rank %d: stats %+v != %+v", nprocs, r, blockRep.Stats[r], overRep.Stats[r])
+			}
+			if len(blockMols[r]) != len(overMols[r]) {
+				t.Fatalf("nprocs=%d rank %d: %d values blocking, %d overlap", nprocs, r, len(blockMols[r]), len(overMols[r]))
+			}
+			for i := range blockMols[r] {
+				if math.Float64bits(blockMols[r][i]) != math.Float64bits(overMols[r][i]) {
+					t.Fatalf("nprocs=%d rank %d value %d: %v != %v", nprocs, r, i, blockMols[r][i], overMols[r][i])
+				}
+			}
+		}
+		if nprocs > 1 && blockRep.TotalMsgsSent() == 0 {
+			t.Fatalf("nprocs=%d: no messages moved; parity is vacuous", nprocs)
+		}
+	}
+}
+
+// TestOverlapBitIdenticalUnderRemap repeats the parity check on the 3-D
+// chain-partitioned configuration with periodic remapping, where the
+// regular mover rebuilds its translated schedule every step.
+func TestOverlapBitIdenticalUnderRemap(t *testing.T) {
+	cfg := small3D()
+	cfg.Mover = MoverRegular
+	const nprocs = 3
+	block := cfg
+	over := cfg
+	over.Overlap = true
+	var blockSum, overSum float64
+	blockRep := comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+		res := Run(p, block)
+		if p.Rank() == 0 {
+			blockSum = res.Checksum
+		}
+	})
+	overRep := comm.Run(nprocs, costmodel.IPSC860(), func(p *comm.Proc) {
+		res := Run(p, over)
+		if p.Rank() == 0 {
+			overSum = res.Checksum
+		}
+	})
+	if math.Float64bits(blockSum) != math.Float64bits(overSum) {
+		t.Errorf("checksum %v (blocking) != %v (overlap)", blockSum, overSum)
+	}
+	for r := 0; r < nprocs; r++ {
+		if math.Float64bits(blockRep.Clocks[r]) != math.Float64bits(overRep.Clocks[r]) {
+			t.Errorf("rank %d: clock %v != %v", r, blockRep.Clocks[r], overRep.Clocks[r])
+		}
+		if blockRep.Stats[r] != overRep.Stats[r] {
+			t.Errorf("rank %d: stats %+v != %+v", r, blockRep.Stats[r], overRep.Stats[r])
+		}
+	}
+}

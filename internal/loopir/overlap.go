@@ -1,0 +1,277 @@
+package loopir
+
+import "repro/internal/schedule"
+
+// Split-phase (overlap) executor mode: the executor starts the gather, runs
+// every interior iteration (touching only owned slots) while the frames are
+// in flight, Waits, runs the boundary iterations, then starts the
+// scatter-add and finishes the owned-slot accumulation while THAT is in
+// flight. Results are bit-identical to the blocking executor: every
+// iteration's contribution lands in its accumulator in static iteration
+// order via per-iteration delta slots (the same replay trick the
+// self-scheduling executor uses for stolen chunks), and aliased (fi == fj)
+// iterations — whose two adds happen in the body's own internal order — are
+// direct-executed by the body at their static position in the apply passes.
+//
+// Virtual time is also bit-identical to blocking: the schedule package's
+// split-phase contract (no charges between Start and Wait) is observed, and
+// the loop's flops are charged at their blocking position, after the gather
+// completes. The overlap windows are real (uncharged) work and are
+// instrumented as the measured Phase "overlap", so -measure/-wallclock
+// report how much communication time the mode actually hides.
+
+// PhaseOverlap is the measured phase name of the overlap windows (work
+// executed while a split-phase collective is in flight).
+const PhaseOverlap = "overlap"
+
+// Overlap switches the loop between the blocking executor and the
+// split-phase executor. Compatible with SelfSched (the gather then overlaps
+// the chunk-cutting preamble; the steal protocol itself is unchanged).
+func (l *SumLoop) Overlap(on bool) { l.overlap = on }
+
+// Overlap switches the loop between the blocking executor and the
+// split-phase executor (see SumLoop.Overlap).
+func (l *PairLoop) Overlap(on bool) { l.overlap = on }
+
+// ensureSplit (re)builds the interior/boundary classification; it is stale
+// exactly when the inspector has rerun since the last build (localized
+// indices only change when an inspection runs).
+func (l *SumLoop) ensureSplit() {
+	insp := l.Inspections()
+	if l.split == nil || l.splitInsp != insp {
+		l.split = schedule.SplitCSR(l.split, l.ind.ptr, l.loc, l.ht.NLocal())
+		l.splitInsp = insp
+	}
+}
+
+func (l *PairLoop) ensureSplit() {
+	insp := l.Inspections()
+	if l.split == nil || l.splitInsp != insp {
+		l.split = schedule.SplitFlat(l.split, l.la, l.lb, l.ht.NLocal())
+		l.splitInsp = insp
+	}
+}
+
+// zero2w returns iteration k's zeroed 2w-wide delta slot.
+func zero2w(delta []float64, k, w int) []float64 {
+	d := delta[k*2*w : (k+1)*2*w]
+	for c := range d {
+		d[c] = 0
+	}
+	return d
+}
+
+// executeOverlap is the split-phase counterpart of SumLoop.Execute. The
+// caller has already run maybeInspect and ensureSplit.
+func (l *SumLoop) executeOverlap() {
+	p := l.prog.P
+	reg := p.Phase("executor")
+	defer reg.End()
+	w := l.x.width
+	nLocal := l.ht.NLocal()
+	nBuf := nLocal + l.ht.NGhosts()
+	l.chargeGuard(p, nLocal)
+
+	xb := make([]float64, nBuf*w)
+	copy(xb, l.x.data)
+	s0 := p.Stats()
+	gm := schedule.GatherWStart(p, l.sched, xb, w)
+
+	// Interior contributions while the gather is in flight, each into its
+	// own zeroed delta slot. Boundary iterations need ghost values; aliased
+	// (j == i) iterations are direct-executed in the owned-apply pass.
+	ptr := l.ind.ptr
+	loc := l.loc
+	nIter := int(ptr[nLocal])
+	l.odelta = grow(l.odelta, nIter*2*w)
+	ov := p.Phase(PhaseOverlap)
+	for i := 0; i < nLocal; i++ {
+		xi := xb[i*w : (i+1)*w]
+		for k := ptr[i]; k < ptr[i+1]; k++ {
+			j := int(loc[k])
+			if j >= nLocal || j == i {
+				continue
+			}
+			d := zero2w(l.odelta, int(k), w)
+			l.body(xi, xb[j*w:(j+1)*w], d[:w], d[w:])
+		}
+	}
+	ov.End()
+	gm.Wait()
+	l.motion.Add(p.Stats().Sub(s0))
+
+	// Boundary contributions: ghost reads are valid now. BndIdx is in
+	// ascending iteration order within each row.
+	bnd, bp := l.split.BndIdx, l.split.BndPtr
+	for i := 0; i < nLocal; i++ {
+		if bp[i] == bp[i+1] {
+			continue
+		}
+		xi := xb[i*w : (i+1)*w]
+		for _, k := range bnd[bp[i]:bp[i+1]] {
+			j := int(loc[k])
+			d := zero2w(l.odelta, int(k), w)
+			l.body(xi, xb[j*w:(j+1)*w], d[:w], d[w:])
+		}
+	}
+	p.ComputeFlops(l.flopsPerPair * nIter)
+
+	// Ghost-apply: the ghost-slot halves, in static iteration order (only
+	// boundary iterations touch ghosts; a SumLoop alias is always owned).
+	// The ghost section must be final before the scatter sends pack it.
+	fb := make([]float64, nBuf*w)
+	for _, k := range bnd {
+		j := int(loc[k])
+		d := l.odelta[int(k)*2*w:]
+		dst := fb[j*w : (j+1)*w]
+		for c := 0; c < w; c++ {
+			dst[c] += d[w+c]
+		}
+	}
+
+	s1 := p.Stats()
+	sm := schedule.ScatterWStart(p, l.sched, fb, w, schedule.OpAdd)
+
+	// Owned-apply while the scatter is in flight: every iteration's
+	// owned-slot contributions in static order. Remote combines land in
+	// sm.Wait, after all local adds — exactly the blocking order.
+	ov = p.Phase(PhaseOverlap)
+	for i := 0; i < nLocal; i++ {
+		xi := xb[i*w : (i+1)*w]
+		fi := fb[i*w : (i+1)*w]
+		for k := ptr[i]; k < ptr[i+1]; k++ {
+			j := int(loc[k])
+			if j == i {
+				l.body(xi, xb[j*w:(j+1)*w], fi, fb[j*w:(j+1)*w])
+				continue
+			}
+			d := l.odelta[int(k)*2*w:]
+			for c := 0; c < w; c++ {
+				fi[c] += d[c]
+			}
+			if j < nLocal {
+				dst := fb[j*w : (j+1)*w]
+				for c := 0; c < w; c++ {
+					dst[c] += d[w+c]
+				}
+			}
+		}
+	}
+	ov.End()
+	sm.Wait()
+	l.motion.Add(p.Stats().Sub(s1))
+
+	for i := 0; i < nLocal*w; i++ {
+		l.f.data[i] += fb[i]
+	}
+	p.ComputeMem(nLocal * w)
+}
+
+// executeOverlap is the split-phase counterpart of PairLoop.Execute. Unlike
+// SumLoop, iterations live on their own decomposition, so BOTH referenced
+// slots (la[k] and lb[k]) may be ghosts; an aliased iteration can therefore
+// sit on a ghost slot and is direct-executed in whichever apply pass owns
+// that slot.
+func (l *PairLoop) executeOverlap() {
+	p := l.prog.P
+	reg := p.Phase("executor")
+	defer reg.End()
+	w := l.x.width
+	nLocal := l.ht.NLocal()
+	nBuf := nLocal + l.ht.NGhosts()
+	l.chargeGuard(p)
+
+	xb := make([]float64, nBuf*w)
+	copy(xb, l.x.data)
+	s0 := p.Stats()
+	gm := schedule.GatherWStart(p, l.sched, xb, w)
+
+	nIter := l.ia.dec.NLocal()
+	la, lb := l.la, l.lb
+	l.odelta = grow(l.odelta, nIter*2*w)
+	ov := p.Phase(PhaseOverlap)
+	for k := 0; k < nIter; k++ {
+		i, j := int(la[k]), int(lb[k])
+		if i >= nLocal || j >= nLocal || i == j {
+			continue
+		}
+		d := zero2w(l.odelta, k, w)
+		l.body(k, xb[i*w:(i+1)*w], xb[j*w:(j+1)*w], d[:w], d[w:])
+	}
+	ov.End()
+	gm.Wait()
+	l.motion.Add(p.Stats().Sub(s0))
+
+	// Boundary contributions (aliases excluded: direct-executed below).
+	bnd := l.split.BndIdx
+	for _, k32 := range bnd {
+		k := int(k32)
+		i, j := int(la[k]), int(lb[k])
+		if i == j {
+			continue
+		}
+		d := zero2w(l.odelta, k, w)
+		l.body(k, xb[i*w:(i+1)*w], xb[j*w:(j+1)*w], d[:w], d[w:])
+	}
+	p.ComputeFlops(l.flopsPerIter * nIter)
+
+	// Ghost-apply: ghost-slot halves in static order; a ghost-slot alias
+	// runs its body here, at its static position.
+	fb := make([]float64, nBuf*w)
+	for _, k32 := range bnd {
+		k := int(k32)
+		i, j := int(la[k]), int(lb[k])
+		if i == j {
+			l.body(k, xb[i*w:(i+1)*w], xb[j*w:(j+1)*w], fb[i*w:(i+1)*w], fb[j*w:(j+1)*w])
+			continue
+		}
+		d := l.odelta[k*2*w:]
+		if i >= nLocal {
+			dst := fb[i*w : (i+1)*w]
+			for c := 0; c < w; c++ {
+				dst[c] += d[c]
+			}
+		}
+		if j >= nLocal {
+			dst := fb[j*w : (j+1)*w]
+			for c := 0; c < w; c++ {
+				dst[c] += d[w+c]
+			}
+		}
+	}
+
+	s1 := p.Stats()
+	sm := schedule.ScatterWStart(p, l.sched, fb, w, schedule.OpAdd)
+
+	ov = p.Phase(PhaseOverlap)
+	for k := 0; k < nIter; k++ {
+		i, j := int(la[k]), int(lb[k])
+		if i == j {
+			if i < nLocal {
+				l.body(k, xb[i*w:(i+1)*w], xb[j*w:(j+1)*w], fb[i*w:(i+1)*w], fb[j*w:(j+1)*w])
+			}
+			continue
+		}
+		d := l.odelta[k*2*w:]
+		if i < nLocal {
+			dst := fb[i*w : (i+1)*w]
+			for c := 0; c < w; c++ {
+				dst[c] += d[c]
+			}
+		}
+		if j < nLocal {
+			dst := fb[j*w : (j+1)*w]
+			for c := 0; c < w; c++ {
+				dst[c] += d[w+c]
+			}
+		}
+	}
+	ov.End()
+	sm.Wait()
+	l.motion.Add(p.Stats().Sub(s1))
+
+	for i := 0; i < l.x.dec.NLocal()*w; i++ {
+		l.f.data[i] += fb[i]
+	}
+	p.ComputeMem(l.x.dec.NLocal() * w)
+}

@@ -54,6 +54,14 @@ type PairLoop struct {
 	// the cumulative data-motion statistics of either executor path.
 	ss     *selfSched
 	motion comm.Stats
+
+	// Split-phase overlap executor state (overlap.go): the mode flag, the
+	// interior/boundary iteration split with the inspection count it was
+	// built at, and the per-iteration delta scratch.
+	overlap   bool
+	split     *schedule.Split
+	splitInsp int
+	odelta    []float64
 }
 
 // NewPairLoop compiles the two-indirection reduction loop. ia and ib must
@@ -165,6 +173,11 @@ func (l *PairLoop) Execute() {
 		return
 	}
 	l.maybeInspect()
+	if l.overlap {
+		l.ensureSplit()
+		l.executeOverlap()
+		return
+	}
 	p := l.prog.P
 	reg := p.Phase("executor")
 	defer reg.End()

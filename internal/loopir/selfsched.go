@@ -116,8 +116,19 @@ func (l *SumLoop) executeSelfSched() {
 	ss.xb = grow(ss.xb, nBuf*w)
 	copy(ss.xb, l.x.data)
 	s0 := p.Stats()
-	schedule.GatherW(p, l.sched, ss.xb, w)
-	l.motion.Add(p.Stats().Sub(s0))
+	// Overlap mode hides the reduce-buffer zeroing and chunk cutting behind
+	// the gather: neither touches ghost x values, and both are uncharged
+	// until after Wait (the split-phase no-charge contract), so the virtual
+	// timeline is bit-identical to the blocking gather below.
+	var gm *schedule.Motion
+	var ov comm.PhaseRegion
+	if l.overlap {
+		gm = schedule.GatherWStart(p, l.sched, ss.xb, w)
+		ov = p.Phase(PhaseOverlap)
+	} else {
+		schedule.GatherW(p, l.sched, ss.xb, w)
+		l.motion.Add(p.Stats().Sub(s0))
+	}
 
 	ss.fb = grow(ss.fb, nBuf*w)
 	for i := range ss.fb {
@@ -156,6 +167,11 @@ func (l *SumLoop) executeSelfSched() {
 		ss.chunkUnits = append(ss.chunkUnits, count)
 		ss.chunkAlias = append(ss.chunkAlias, alias)
 		row = end
+	}
+	if gm != nil {
+		ov.End()
+		gm.Wait()
+		l.motion.Add(p.Stats().Sub(s0))
 	}
 	p.ComputeMem(nRows + len(ss.chunkEnd)) // chunk-bounds bookkeeping
 
@@ -294,8 +310,16 @@ func (l *PairLoop) executeSelfSched() {
 	ss.xb = grow(ss.xb, nBuf*w)
 	copy(ss.xb, l.x.data)
 	s0 := p.Stats()
-	schedule.GatherW(p, l.sched, ss.xb, w)
-	l.motion.Add(p.Stats().Sub(s0))
+	// Overlap mode: see the SumLoop executeSelfSched counterpart.
+	var gm *schedule.Motion
+	var ov comm.PhaseRegion
+	if l.overlap {
+		gm = schedule.GatherWStart(p, l.sched, ss.xb, w)
+		ov = p.Phase(PhaseOverlap)
+	} else {
+		schedule.GatherW(p, l.sched, ss.xb, w)
+		l.motion.Add(p.Stats().Sub(s0))
+	}
 
 	ss.fb = grow(ss.fb, nBuf*w)
 	for i := range ss.fb {
@@ -325,6 +349,11 @@ func (l *PairLoop) executeSelfSched() {
 		ss.chunkCost = append(ss.chunkCost, float64(end-k)*ss.ctl.CostPerUnit())
 		ss.chunkUnits = append(ss.chunkUnits, end-k)
 		ss.chunkAlias = append(ss.chunkAlias, alias)
+	}
+	if gm != nil {
+		ov.End()
+		gm.Wait()
+		l.motion.Add(p.Stats().Sub(s0))
 	}
 	p.ComputeMem(len(ss.chunkEnd)) // chunk-bounds bookkeeping
 

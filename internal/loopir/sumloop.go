@@ -54,6 +54,14 @@ type SumLoop struct {
 	// the cumulative data-motion statistics of either executor path.
 	ss     *selfSched
 	motion comm.Stats
+
+	// Split-phase overlap executor state (overlap.go): the mode flag, the
+	// interior/boundary iteration split with the inspection count it was
+	// built at, and the per-iteration delta scratch.
+	overlap   bool
+	split     *schedule.Split
+	splitInsp int
+	odelta    []float64
 }
 
 // NewSumLoop compiles a FORALL/REDUCE(SUM) loop. ind must be a CSR
@@ -170,6 +178,11 @@ func (l *SumLoop) Execute() {
 		return
 	}
 	l.maybeInspect()
+	if l.overlap {
+		l.ensureSplit()
+		l.executeOverlap()
+		return
+	}
 	p := l.prog.P
 	reg := p.Phase("executor")
 	defer reg.End()

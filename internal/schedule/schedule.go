@@ -72,6 +72,10 @@ type Schedule struct {
 	reqOff  []int32
 	cur     []int32
 	recvBuf []int32
+	// motion is the schedule's split-phase handle (splitphase.go): at most
+	// one motion is in flight per schedule, so embedding it keeps the
+	// overlap steady state allocation-free.
+	motion Motion
 }
 
 // stage returns scratch of exactly n elements backed by *buf, growing the
@@ -314,6 +318,13 @@ func GatherW(p *comm.Proc, s *Schedule, data []float64, width int) {
 		p.ComputeMem(len(buf))
 		p.SendF64Buf(dst, tagGather, buf)
 	}
+	gatherRecv(p, s, data, width)
+}
+
+// gatherRecv is GatherW's receive half: ring-order receives with interleaved
+// unpacking. Shared verbatim by the blocking path and Motion.Wait, so the
+// two modes charge identical virtual sequences.
+func gatherRecv(p *comm.Proc, s *Schedule, data []float64, width int) {
 	for k := 1; k < p.Size(); k++ {
 		src := (p.Rank() - k + p.Size()) % p.Size()
 		slots := s.RecvSlots(src)
@@ -369,6 +380,12 @@ func ScatterW(p *comm.Proc, s *Schedule, data []float64, width int, op CombineOp
 		p.ComputeMem(len(buf))
 		p.SendF64Buf(dst, tagScatter, buf)
 	}
+	scatterRecv(p, s, data, width, op)
+}
+
+// scatterRecv is ScatterW's receive half: ring-order receives with the
+// combine applied per message. Shared by the blocking path and Motion.Wait.
+func scatterRecv(p *comm.Proc, s *Schedule, data []float64, width int, op CombineOp) {
 	for k := 1; k < p.Size(); k++ {
 		src := (p.Rank() - k + p.Size()) % p.Size()
 		offs := s.SendOffs(src)
